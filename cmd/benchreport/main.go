@@ -1,0 +1,230 @@
+// Command benchreport regenerates every table and figure of the paper's
+// evaluation in one run and prints them as Markdown (the source of
+// EXPERIMENTS.md) or plain text.
+//
+// Usage:
+//
+//	benchreport [-budget 2000] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dialect"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/fuzz"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/sqlparse"
+)
+
+var markdown = flag.Bool("markdown", false, "emit Markdown instead of plain text")
+
+func emit(t *report.Table) {
+	if *markdown {
+		fmt.Println(t.Markdown())
+	} else {
+		fmt.Println(t.Render())
+	}
+}
+
+func main() {
+	budget := flag.Int("budget", 2000, "database budget per fault campaign")
+	flag.Parse()
+
+	start := time.Now()
+	data := map[dialect.Dialect][]runner.Result{}
+	for _, d := range dialect.All {
+		data[d] = runner.RunCorpus(d, *budget, 1, true)
+	}
+	fmt.Printf("corpus campaigns finished in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	table1()
+	table2(data)
+	table3(data)
+	table4()
+	figure2(data)
+	figure3(data)
+	throughput()
+	baseline(*budget / 4)
+}
+
+func loc(dirs ...string) int {
+	root := report.RepoRoot()
+	total := 0
+	for _, dir := range dirs {
+		n, err := report.CountLOC(filepath.Join(root, "internal", dir))
+		if err == nil {
+			total += n
+		}
+	}
+	return total
+}
+
+func table1() {
+	substrate := loc("sqlval", "sqlast", "sqlparse", "schema", "storage", "eval", "engine", "xerr", "dialect", "faults")
+	t := &report.Table{
+		Title:   "Table 1: systems under test",
+		Headers: []string{"DBMS", "Paper LOC", "Paper age", "Our profile substrate LOC"},
+	}
+	t.AddRow("SQLite", "0.3M", "19y", substrate)
+	t.AddRow("MySQL", "3.8M", "24y", substrate)
+	t.AddRow("PostgreSQL", "1.4M", "23y", substrate)
+	emit(t)
+}
+
+func table2(data map[dialect.Dialect][]runner.Result) {
+	t := &report.Table{
+		Title:   "Table 2: detected injected bugs (paper: fixed+verified 65/25/9)",
+		Headers: []string{"DBMS", "Faults", "Detected", "Missed"},
+	}
+	for _, d := range dialect.All {
+		det := 0
+		for _, r := range data[d] {
+			if r.Detected {
+				det++
+			}
+		}
+		t.AddRow(d.DisplayName(), len(data[d]), det, len(data[d])-det)
+	}
+	emit(t)
+}
+
+func table3(data map[dialect.Dialect][]runner.Result) {
+	t := &report.Table{
+		Title:   "Table 3: detections per oracle (paper: 61/34/4)",
+		Headers: []string{"DBMS", "Contains", "Error", "SEGFAULT"},
+	}
+	sums := map[faults.Oracle]int{}
+	for _, d := range dialect.All {
+		counts := map[faults.Oracle]int{}
+		for _, r := range data[d] {
+			if r.Detected {
+				counts[r.Bug.Oracle]++
+				sums[r.Bug.Oracle]++
+			}
+		}
+		t.AddRow(d.DisplayName(), counts[faults.OracleContainment], counts[faults.OracleError], counts[faults.OracleCrash])
+	}
+	t.AddRow("Sum", sums[faults.OracleContainment], sums[faults.OracleError], sums[faults.OracleCrash])
+	emit(t)
+}
+
+func table4() {
+	testerLOC := loc("core", "gen", "interp", "oracle", "reduce", "runner")
+	engineLOC := loc("engine", "eval", "storage", "schema", "sqlparse", "sqlast", "sqlval", "xerr")
+	features := map[dialect.Dialect]int{}
+	union := map[string]bool{}
+	perDialect := map[dialect.Dialect]map[string]bool{}
+	for _, d := range dialect.All {
+		perDialect[d] = map[string]bool{}
+		for seed := int64(1); seed <= 30; seed++ {
+			e := engine.Open(d)
+			tester := core.NewTesterWithEngine(core.Config{Dialect: d, Seed: seed, QueriesPerDB: 10}, e)
+			if _, err := tester.RunBoundDatabase(); err != nil {
+				continue
+			}
+			for k := range e.Coverage().Snapshot() {
+				perDialect[d][k] = true
+				union[k] = true
+			}
+		}
+		features[d] = len(perDialect[d])
+	}
+	t := &report.Table{
+		Title:   "Table 4: tester vs engine size and feature coverage (paper: 13.1/0.6/1.5% size; 43/24/24% coverage)",
+		Headers: []string{"DBMS", "Tester LOC", "Engine LOC", "Size ratio", "Coverage"},
+	}
+	for _, d := range dialect.All {
+		t.AddRow(d.DisplayName(), testerLOC, engineLOC,
+			fmt.Sprintf("%.1f%%", 100*float64(testerLOC)/float64(engineLOC)),
+			fmt.Sprintf("%.1f%%", 100*float64(features[d])/float64(len(union))))
+	}
+	emit(t)
+}
+
+func figure2(data map[dialect.Dialect][]runner.Result) {
+	var lengths []int
+	for _, d := range dialect.All {
+		for _, r := range data[d] {
+			if r.Detected {
+				lengths = append(lengths, len(r.Reduced))
+			}
+		}
+	}
+	fmt.Println(report.RenderCDF("Figure 2: CDF of reduced test-case statement counts", report.CDF(lengths)))
+	fmt.Printf("mean=%.2f median=%.1f max=%d (paper: mean 3.71, max 8)\n\n",
+		report.Mean(lengths), report.Median(lengths), report.Max(lengths))
+}
+
+func figure3(data map[dialect.Dialect][]runner.Result) {
+	for _, d := range dialect.All {
+		h := report.NewStatementHistogram()
+		for _, r := range data[d] {
+			if !r.Detected || len(r.Reduced) == 0 {
+				continue
+			}
+			var kinds []string
+			for _, sql := range r.Reduced {
+				if st, err := sqlparse.ParseOne(sql, d); err == nil {
+					kinds = append(kinds, st.Kind())
+				}
+			}
+			if len(kinds) > 0 {
+				h.AddCase(kinds, kinds[len(kinds)-1], string(r.Bug.Oracle))
+			}
+		}
+		fmt.Println(h.Render(fmt.Sprintf("Figure 3 (%s): statement kinds in reduced test cases", d.DisplayName())))
+	}
+}
+
+func throughput() {
+	t := &report.Table{
+		Title:   "Throughput (paper: 5,000-20,000 statements/second)",
+		Headers: []string{"DBMS", "Statements/s"},
+	}
+	for _, d := range dialect.All {
+		tester := core.NewTester(core.Config{Dialect: d, Seed: 1, QueriesPerDB: 20})
+		start := time.Now()
+		for i := 0; i < 40; i++ {
+			if _, err := tester.RunDatabase(); err != nil {
+				break
+			}
+		}
+		el := time.Since(start).Seconds()
+		t.AddRow(d.DisplayName(), fmt.Sprintf("%.0f", float64(tester.Stats().Statements)/el))
+	}
+	emit(t)
+}
+
+func baseline(budget int) {
+	pqsLogic, fuzzLogic, logicTotal := 0, 0, 0
+	for _, info := range faults.All() {
+		if !info.Logic {
+			continue
+		}
+		logicTotal++
+		if runner.Run(runner.Campaign{Dialect: info.Dialect, Fault: info.ID, MaxDatabases: budget, BaseSeed: 1}).Detected {
+			pqsLogic++
+		}
+		for seed := int64(1); seed <= int64(budget); seed++ {
+			f := fuzz.New(fuzz.Config{Dialect: info.Dialect, Seed: seed, Faults: faults.NewSet(info.ID)})
+			if bug, _ := f.RunDatabase(); bug != nil {
+				fuzzLogic++
+				break
+			}
+		}
+	}
+	t := &report.Table{
+		Title:   "Baseline: logic bugs found (fuzzers cannot see logic bugs)",
+		Headers: []string{"Approach", "Logic bugs"},
+	}
+	t.AddRow("PQS", fmt.Sprintf("%d/%d", pqsLogic, logicTotal))
+	t.AddRow("Fuzzer", fmt.Sprintf("%d/%d", fuzzLogic, logicTotal))
+	emit(t)
+}

@@ -1,0 +1,125 @@
+// Command dbshell is a minimal interactive shell over the engine
+// substrate, for manual exploration of the dialects and the injected bug
+// corpus.
+//
+// Usage:
+//
+//	dbshell -dialect sqlite [-fault sqlite.partial-index-not-null]
+//
+// Statements end with ';'. Meta commands: .tables, .schema <t>, .quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dialect"
+	"repro/internal/engine"
+	"repro/internal/faults"
+)
+
+func main() {
+	var (
+		dialectFlag = flag.String("dialect", "sqlite", "dialect profile")
+		faultFlag   = flag.String("fault", "", "comma-separated faults to inject")
+	)
+	flag.Parse()
+
+	d, err := dialect.Parse(*dialectFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var opts []engine.Option
+	if *faultFlag != "" {
+		fs := faults.NewSet()
+		for _, name := range strings.Split(*faultFlag, ",") {
+			f := faults.Fault(strings.TrimSpace(name))
+			if _, ok := faults.Lookup(f); !ok {
+				fmt.Fprintf(os.Stderr, "unknown fault %q\n", name)
+				os.Exit(1)
+			}
+			fs.Enable(f)
+		}
+		opts = append(opts, engine.WithFaults(fs))
+	}
+	e := engine.Open(d, opts...)
+	fmt.Printf("dbshell: %s profile; end statements with ';', .quit to exit\n", d.DisplayName())
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			if !meta(e, trimmed) {
+				return
+			}
+			fmt.Print("> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			run(e, buf.String())
+			buf.Reset()
+		}
+		fmt.Print("> ")
+	}
+}
+
+func meta(e *engine.Engine, cmd string) bool {
+	switch {
+	case cmd == ".quit" || cmd == ".exit":
+		return false
+	case cmd == ".tables":
+		for _, t := range e.Tables() {
+			fmt.Println(t)
+		}
+		for _, v := range e.Views() {
+			fmt.Println(v, "(view)")
+		}
+	case strings.HasPrefix(cmd, ".schema"):
+		name := strings.TrimSpace(strings.TrimPrefix(cmd, ".schema"))
+		info, err := e.Describe(name)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		for _, c := range info.Columns {
+			fmt.Printf("  %s %s (affinity %s, collate %s)\n", c.Name, c.TypeName, c.Affinity, c.Collate)
+		}
+		for _, ix := range e.Indexes(name) {
+			fmt.Printf("  index %s\n", ix)
+		}
+	default:
+		fmt.Println("meta commands: .tables, .schema <t>, .quit")
+	}
+	return true
+}
+
+func run(e *engine.Engine, sql string) {
+	res, err := e.Exec(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, "|"))
+	}
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.Display()
+		}
+		fmt.Println(strings.Join(parts, "|"))
+	}
+	if res.RowsAffected > 0 {
+		fmt.Printf("(%d rows affected)\n", res.RowsAffected)
+	}
+}

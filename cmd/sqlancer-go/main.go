@@ -1,0 +1,165 @@
+// Command sqlancer-go runs PQS, fuzzer, or differential campaigns against
+// the engine substrate, mirroring how SQLancer is driven against a real
+// DBMS.
+//
+// Usage:
+//
+//	sqlancer-go -dialect sqlite -fault sqlite.partial-index-not-null -max-dbs 500
+//	sqlancer-go -dialect mysql -mode fuzz -max-dbs 200
+//	sqlancer-go -mode diff -dialect sqlite -right postgres
+//	sqlancer-go -list-faults
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dialect"
+	"repro/internal/diffdb"
+	"repro/internal/faults"
+	"repro/internal/fuzz"
+	"repro/internal/runner"
+)
+
+func main() {
+	var (
+		dialectFlag = flag.String("dialect", "sqlite", "dialect profile: sqlite, mysql, postgres")
+		mode        = flag.String("mode", "pqs", "campaign mode: pqs, fuzz, diff")
+		faultFlag   = flag.String("fault", "", "injected fault to hunt (empty = soundness run)")
+		rightFlag   = flag.String("right", "postgres", "right-hand dialect for -mode diff")
+		maxDBs      = flag.Int("max-dbs", 500, "database budget")
+		workers     = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed        = flag.Int64("seed", 1, "base seed")
+		rows        = flag.Int("rows", 8, "max rows per table")
+		depth       = flag.Int("depth", 3, "max expression depth")
+		queries     = flag.Int("queries", 30, "pivot queries per database")
+		doReduce    = flag.Bool("reduce", true, "reduce detected test cases")
+		listFaults  = flag.Bool("list-faults", false, "print the fault registry and exit")
+	)
+	flag.Parse()
+
+	if *listFaults {
+		for _, info := range faults.All() {
+			fmt.Printf("%-38s %-10s %-9s %-13s %s (%s)\n",
+				info.ID, info.Dialect, info.Oracle, info.Class, info.Desc, info.Paper)
+		}
+		return
+	}
+
+	d, err := dialect.Parse(*dialectFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *mode {
+	case "pqs":
+		runPQS(d, *faultFlag, *maxDBs, *workers, *seed, *rows, *depth, *queries, *doReduce)
+	case "fuzz":
+		runFuzz(d, *faultFlag, *maxDBs, *seed, *queries)
+	case "diff":
+		r, err := dialect.Parse(*rightFlag)
+		if err != nil {
+			fatal(err)
+		}
+		runDiff(d, r, *faultFlag, *maxDBs, *seed)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sqlancer-go:", err)
+	os.Exit(1)
+}
+
+func parseFault(name string) faults.Fault {
+	if name == "" {
+		return ""
+	}
+	f := faults.Fault(name)
+	if _, ok := faults.Lookup(f); !ok {
+		fatal(fmt.Errorf("unknown fault %q (try -list-faults)", name))
+	}
+	return f
+}
+
+func runPQS(d dialect.Dialect, faultName string, maxDBs, workers int, seed int64, rows, depth, queries int, doReduce bool) {
+	res := runner.Run(runner.Campaign{
+		Dialect:      d,
+		Fault:        parseFault(faultName),
+		MaxDatabases: maxDBs,
+		Workers:      workers,
+		BaseSeed:     seed,
+		Reduce:       doReduce,
+		Tester: core.Config{
+			MaxRows:      rows,
+			MaxExprDepth: depth,
+			QueriesPerDB: queries,
+		},
+	})
+	fmt.Printf("dialect=%s fault=%s databases=%d statements=%d queries=%d elapsed=%s\n",
+		d, faultName, res.Databases, res.Stats.Statements, res.Stats.Queries, res.Elapsed.Round(1000000))
+	if !res.Detected {
+		fmt.Println("no bug detected within budget")
+		return
+	}
+	fmt.Printf("BUG detected by %s oracle: %s\n", res.Bug.Oracle, res.Bug.Message)
+	fmt.Printf("reduced test case (%d statements):\n", len(res.Reduced))
+	for _, sql := range res.Reduced {
+		fmt.Printf("  %s;\n", sql)
+	}
+}
+
+func runFuzz(d dialect.Dialect, faultName string, maxDBs int, seed int64, queries int) {
+	var fs *faults.Set
+	if f := parseFault(faultName); f != "" {
+		fs = faults.NewSet(f)
+	}
+	for i := 0; i < maxDBs; i++ {
+		f := fuzz.New(fuzz.Config{Dialect: d, Seed: seed + int64(i), Faults: fs, QueriesPerDB: queries})
+		bug, err := f.RunDatabase()
+		if err != nil {
+			fatal(err)
+		}
+		if bug != nil {
+			fmt.Printf("fuzzer detection after %d databases (%s oracle): %s\n", i+1, bug.Oracle, bug.Message)
+			for _, sql := range bug.Trace {
+				fmt.Printf("  %s;\n", sql)
+			}
+			return
+		}
+	}
+	fmt.Printf("fuzzer: no detection in %d databases (logic bugs are invisible to fuzzing)\n", maxDBs)
+}
+
+func runDiff(left, right dialect.Dialect, faultName string, maxDBs int, seed int64) {
+	var fs *faults.Set
+	if f := parseFault(faultName); f != "" {
+		fs = faults.NewSet(f)
+	}
+	for i := 0; i < maxDBs; i++ {
+		s := diffdb.New(diffdb.Config{
+			Pair:   [2]dialect.Dialect{left, right},
+			Seed:   seed + int64(i),
+			Faults: fs,
+		})
+		m, err := s.RunDatabase()
+		if err != nil {
+			fatal(err)
+		}
+		if m != nil {
+			fmt.Printf("differential mismatch after %d databases on %q\n", i+1, m.Query)
+			if m.Err != "" {
+				fmt.Println(" ", m.Err)
+			} else {
+				fmt.Printf("  %s: %s\n  %s: %s\n", left, strings.Join(m.LeftRes, " / "),
+					right, strings.Join(m.RightRes, " / "))
+			}
+			return
+		}
+	}
+	fmt.Printf("differential: no mismatch in %d databases\n", maxDBs)
+}

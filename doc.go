@@ -1,0 +1,12 @@
+// Package repro reproduces "Testing Database Engines via Pivoted Query
+// Synthesis" (Rigger & Su, OSDI 2020) as a self-contained Go system: an
+// embedded SQL engine substrate with three dialect profiles and an
+// injectable-bug corpus, plus the PQS testing stack (generator, oracle
+// interpreter, rectifier, containment/error/crash oracles, reducer, and
+// campaign runner) and two baselines (a SQLsmith-style fuzzer and a
+// RAGS-style differential tester).
+//
+// The root package holds the benchmark harness (bench_test.go) that
+// regenerates every table and figure of the paper's evaluation; the
+// implementation lives under internal/ (see DESIGN.md for the map).
+package repro

@@ -1,0 +1,31 @@
+package core
+
+import "repro/internal/engine"
+
+// BoundTester is a Tester pinned to a caller-provided engine instance, so
+// the caller can inspect the engine afterwards (feature coverage for the
+// Table 4 reproduction, shells, examples).
+type BoundTester struct {
+	*Tester
+	eng *engine.Engine
+}
+
+// NewTesterWithEngine creates a tester that runs every database lifecycle
+// against the given engine instead of opening fresh ones. The engine's
+// fault set takes precedence over cfg.Faults.
+func NewTesterWithEngine(cfg Config, e *engine.Engine) *BoundTester {
+	cfg.Dialect = e.Dialect()
+	cfg.Faults = e.Faults()
+	return &BoundTester{Tester: NewTester(cfg), eng: e}
+}
+
+// Engine exposes the bound engine.
+func (bt *BoundTester) Engine() *engine.Engine { return bt.eng }
+
+// RunBoundDatabase is RunDatabase against the bound engine. Unlike
+// RunDatabase it does not reset state between calls — repeated calls keep
+// growing the same database, which is occasionally useful for coverage
+// accumulation but not for campaigns.
+func (bt *BoundTester) RunBoundDatabase() (*Bug, error) {
+	return bt.runOn(bt.eng)
+}

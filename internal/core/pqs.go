@@ -1,0 +1,619 @@
+// Package core is the heart of the reproduction: Pivoted Query Synthesis
+// (Figure 1 of the paper). A Tester repeatedly (1) generates a random
+// database, (2) selects a pivot row from every table, (3) generates random
+// expressions, (4) rectifies them to TRUE with the oracle interpreter,
+// (5) synthesizes a query using them as WHERE/JOIN conditions, (6) runs it
+// on the engine, and (7) checks that the pivot row is contained in the
+// result set.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dialect"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/interp"
+	"repro/internal/oracle"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/sqlval"
+	"repro/internal/xerr"
+)
+
+// Config parameterizes a Tester.
+type Config struct {
+	Dialect dialect.Dialect
+	Seed    int64
+	Faults  *faults.Set
+
+	// MaxExprDepth bounds generated expression trees (Algorithm 1's
+	// maxdepth). Default 3.
+	MaxExprDepth int
+	// MinRows/MaxRows bound per-table row counts (paper: 10–30; defaults
+	// are lower for campaign throughput — the ablation bench sweeps this).
+	MinRows, MaxRows int
+	// MaxTables bounds tables per database. Default 3.
+	MaxTables int
+	// QueriesPerDB is how many pivot iterations run against one database
+	// before regenerating (the "continue with 1 or 2" choice in Figure 1).
+	QueriesPerDB int
+	// DisableRectification switches Algorithm 3 off and uses rejection
+	// sampling instead (ablation 2 in DESIGN.md).
+	DisableRectification bool
+	// UseEngineAsOracle evaluates pivot expressions with the engine's own
+	// evaluator instead of the independent interpreter (ablation 1).
+	UseEngineAsOracle bool
+	// ContainmentViaQuery folds the containment check into the query with
+	// INTERSECT, the way §3.2 combines steps 6 and 7, instead of the
+	// client-side row search.
+	ContainmentViaQuery bool
+	// NegativeChecks additionally generates FALSE-rectified conditions
+	// and verifies the pivot row is NOT contained — the paper's §7
+	// future-work extension. It catches bugs that erroneously add rows.
+	NegativeChecks bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxExprDepth <= 0 {
+		c.MaxExprDepth = 3
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 8
+	}
+	if c.MinRows <= 0 {
+		c.MinRows = 1
+	}
+	if c.MaxTables <= 0 {
+		c.MaxTables = 3
+	}
+	if c.QueriesPerDB <= 0 {
+		c.QueriesPerDB = 30
+	}
+	return c
+}
+
+// Bug is one oracle detection.
+type Bug struct {
+	Oracle  faults.Oracle
+	Message string
+	// Code is the engine error code for error/crash detections.
+	Code xerr.Code
+	// Trace is the SQL statement sequence reproducing the bug; the final
+	// statement is the failing query (containment) or erroring statement.
+	Trace []string
+	// Expected is the pivot tuple the containment oracle missed (nil for
+	// error/crash detections).
+	Expected []sqlval.Value
+	// PivotTables maps table → pivot row for reduction-time validation.
+	PivotTables map[string][]sqlval.Value
+	// Negative marks a §7 anticontainment detection: the pivot row was
+	// present despite a FALSE condition (reduction then checks presence).
+	Negative bool
+}
+
+// Stats counts tester work (the throughput experiment).
+type Stats struct {
+	Statements int
+	Queries    int
+	Databases  int
+	Rectified  map[sqlval.TriBool]int
+	Artifacts  int
+	Discarded  int // expressions the oracle could not evaluate
+}
+
+func newStats() *Stats { return &Stats{Rectified: map[sqlval.TriBool]int{}} }
+
+// Add merges other into s.
+func (s *Stats) Add(o *Stats) {
+	s.Statements += o.Statements
+	s.Queries += o.Queries
+	s.Databases += o.Databases
+	s.Artifacts += o.Artifacts
+	s.Discarded += o.Discarded
+	for k, v := range o.Rectified {
+		s.Rectified[k] += v
+	}
+}
+
+// Tester runs PQS against fresh engine instances.
+type Tester struct {
+	cfg   Config
+	rnd   *gen.Rand
+	stats *Stats
+}
+
+// NewTester creates a tester.
+func NewTester(cfg Config) *Tester {
+	cfg = cfg.withDefaults()
+	return &Tester{
+		cfg:   cfg,
+		rnd:   gen.NewRand(cfg.Dialect, cfg.Seed),
+		stats: newStats(),
+	}
+}
+
+// Stats exposes accumulated counters.
+func (t *Tester) Stats() *Stats { return t.stats }
+
+// bugSignal aborts statement generation when an oracle fires.
+type bugSignal struct{ bug *Bug }
+
+// Error implements the error interface.
+func (b *bugSignal) Error() string { return "oracle detection: " + b.bug.Message }
+
+// RunDatabase executes one full database lifecycle (steps 1–7, looped) and
+// returns the first detection, or nil.
+func (t *Tester) RunDatabase() (*Bug, error) {
+	return t.runOn(engine.Open(t.cfg.Dialect, engine.WithFaults(t.cfg.Faults)))
+}
+
+// runOn runs one lifecycle against a specific engine instance.
+func (t *Tester) runOn(e *engine.Engine) (*Bug, error) {
+	t.stats.Databases++
+	var trace []string
+
+	apply := func(st sqlast.Stmt) error {
+		sql := sqlast.SQL(st, t.cfg.Dialect)
+		trace = append(trace, sql)
+		t.stats.Statements++
+		_, err := e.Exec(sql)
+		switch v := oracle.Classify(st, err, t.cfg.Dialect); v {
+		case oracle.VerdictBug, oracle.VerdictCrash:
+			code, _ := xerr.CodeOf(err)
+			return &bugSignal{bug: &Bug{
+				Oracle:  oracle.OracleFor(v),
+				Message: err.Error(),
+				Code:    code,
+				Trace:   append([]string(nil), trace...),
+			}}
+		case oracle.VerdictArtifact:
+			t.stats.Artifacts++
+		}
+		return nil
+	}
+
+	sg := &gen.StateGen{
+		Rnd:       t.rnd,
+		E:         e,
+		MinRows:   t.cfg.MinRows,
+		MaxRows:   t.cfg.MaxRows,
+		MaxTables: t.cfg.MaxTables,
+	}
+	if err := sg.BuildDatabase(apply); err != nil {
+		if sig, ok := err.(*bugSignal); ok {
+			return sig.bug, nil
+		}
+		return nil, err
+	}
+
+	for q := 0; q < t.cfg.QueriesPerDB; q++ {
+		bug, err := t.pivotIteration(e, sg, &trace)
+		if err != nil {
+			return nil, err
+		}
+		if bug != nil {
+			return bug, nil
+		}
+	}
+	return nil, nil
+}
+
+// pivotRow is one table's pivot selection.
+type pivotRow struct {
+	table string
+	info  schema.TableInfo
+	vals  []sqlval.Value
+}
+
+// pivotIteration runs steps 2–7 once.
+func (t *Tester) pivotIteration(e *engine.Engine, sg *gen.StateGen, trace *[]string) (*Bug, error) {
+	// Step 2: select a pivot row from each table.
+	var pivots []pivotRow
+	for _, tn := range e.Tables() {
+		rows := e.RawRows(tn)
+		if len(rows) == 0 {
+			continue
+		}
+		info, err := e.Describe(tn)
+		if err != nil {
+			continue
+		}
+		pivots = append(pivots, pivotRow{
+			table: tn,
+			info:  info,
+			vals:  rows[t.rnd.Intn(len(rows))],
+		})
+	}
+	if len(pivots) == 0 {
+		return nil, nil
+	}
+	// Use a random non-empty subset of tables (1..all), keeping join
+	// fan-out bounded (§3.4: row-count pressure).
+	for len(pivots) > 1 && t.rnd.Bool(0.4) {
+		pivots = pivots[:len(pivots)-1]
+	}
+
+	ctx, cols, hints := t.bindPivot(e, pivots, sg)
+
+	// §7 extension: occasionally check the dual property — a FALSE
+	// condition must NOT fetch the pivot row.
+	if t.cfg.NegativeChecks && t.rnd.Bool(0.3) {
+		return t.negativeIteration(e, pivots, ctx, cols, hints, trace)
+	}
+
+	// Steps 3–4: generate and rectify conditions.
+	where, ok := t.rectifiedCondition(ctx, cols, hints)
+	if !ok {
+		return nil, nil
+	}
+
+	// Step 5: synthesize the query.
+	sel, expected, err := t.buildQuery(ctx, pivots, cols, hints, where)
+	if err != nil || sel == nil {
+		return nil, err
+	}
+
+	// Step 6+7 combined (§3.2): either run the query and search the
+	// result client-side, or wrap it in the paper's INTERSECT form where
+	// a non-empty result proves containment.
+	var query sqlast.Stmt = sel
+	if t.cfg.ContainmentViaQuery {
+		query = intersectForm(sel, expected)
+	}
+	sql := sqlast.SQL(query, t.cfg.Dialect)
+	*trace = append(*trace, sql)
+	t.stats.Statements++
+	t.stats.Queries++
+
+	res, execErr := e.Exec(sql)
+	if execErr != nil {
+		switch v := oracle.Classify(query, execErr, t.cfg.Dialect); v {
+		case oracle.VerdictBug, oracle.VerdictCrash:
+			code, _ := xerr.CodeOf(execErr)
+			return &Bug{
+				Oracle:  oracle.OracleFor(v),
+				Message: execErr.Error(),
+				Code:    code,
+				Trace:   append([]string(nil), *trace...),
+			}, nil
+		default:
+			// Expected runtime error (strict typing): drop this query
+			// from the trace and move on.
+			*trace = (*trace)[:len(*trace)-1]
+			t.stats.Discarded++
+			return nil, nil
+		}
+	}
+
+	contained := oracle.Containment(res.Rows, expected)
+	if t.cfg.ContainmentViaQuery {
+		contained = len(res.Rows) > 0
+	}
+	if !contained {
+		pt := map[string][]sqlval.Value{}
+		for _, p := range pivots {
+			pt[p.table] = p.vals
+		}
+		return &Bug{
+			Oracle:      faults.OracleContainment,
+			Message:     fmt.Sprintf("pivot row %s not contained in result set (%d rows)", tupleString(expected), len(res.Rows)),
+			Trace:       append([]string(nil), *trace...),
+			Expected:    expected,
+			PivotTables: pt,
+		}, nil
+	}
+	// Keep the trace bounded: successful pivot queries don't help
+	// reproduce later bugs.
+	*trace = (*trace)[:len(*trace)-1]
+	return nil, nil
+}
+
+// intersectForm wraps a pivot query in the paper's containment idiom:
+// SELECT <pivot literals> INTERSECT <query> returns a row iff the pivot
+// tuple is contained.
+func intersectForm(sel *sqlast.Select, expected []sqlval.Value) *sqlast.Compound {
+	lits := &sqlast.Select{}
+	for _, v := range expected {
+		lits.Cols = append(lits.Cols, sqlast.ResultCol{X: sqlast.Lit(v)})
+	}
+	return &sqlast.Compound{
+		Selects: []*sqlast.Select{lits, sel},
+		Ops:     []sqlast.CompoundOp{sqlast.OpIntersect},
+	}
+}
+
+// negativeIteration generates a FALSE-rectified condition and verifies the
+// pivot row is absent from the result (§7: "we could also generate
+// conditions and check that the pivot row is not contained").
+func (t *Tester) negativeIteration(e *engine.Engine, pivots []pivotRow, ctx *interp.Context, cols []gen.ColumnPick, hints []sqlval.Value, trace *[]string) (*Bug, error) {
+	where, ok := t.falsifiedCondition(ctx, cols, hints)
+	if !ok {
+		return nil, nil
+	}
+	// Result columns are the full pivot tuple (no value expressions):
+	// with the condition referencing only these tables' columns, any
+	// combo whose tuple equals the pivot tuple evaluates the condition
+	// identically, so presence of the tuple is exactly the violation.
+	sel := &sqlast.Select{Where: where}
+	var expected []sqlval.Value
+	for _, p := range pivots {
+		for ci, col := range p.info.Columns {
+			sel.Cols = append(sel.Cols, sqlast.ResultCol{X: sqlast.Col(p.table, col.Name)})
+			var v sqlval.Value
+			if ci < len(p.vals) {
+				v = p.vals[ci]
+			}
+			expected = append(expected, v)
+		}
+	}
+	sel.From = []sqlast.TableRef{{Name: pivots[0].table}}
+	for _, p := range pivots[1:] {
+		sel.From = append(sel.From, sqlast.TableRef{Name: p.table})
+	}
+
+	sql := sqlast.SQL(sel, t.cfg.Dialect)
+	*trace = append(*trace, sql)
+	t.stats.Statements++
+	t.stats.Queries++
+	res, execErr := e.Exec(sql)
+	if execErr != nil {
+		switch v := oracle.Classify(sel, execErr, t.cfg.Dialect); v {
+		case oracle.VerdictBug, oracle.VerdictCrash:
+			code, _ := xerr.CodeOf(execErr)
+			return &Bug{
+				Oracle:  oracle.OracleFor(v),
+				Message: execErr.Error(),
+				Code:    code,
+				Trace:   append([]string(nil), *trace...),
+			}, nil
+		default:
+			*trace = (*trace)[:len(*trace)-1]
+			t.stats.Discarded++
+			return nil, nil
+		}
+	}
+	if oracle.Containment(res.Rows, expected) {
+		pt := map[string][]sqlval.Value{}
+		for _, p := range pivots {
+			pt[p.table] = p.vals
+		}
+		return &Bug{
+			Oracle:      faults.OracleContainment,
+			Message:     fmt.Sprintf("pivot row %s contained despite FALSE condition (%d rows)", tupleString(expected), len(res.Rows)),
+			Trace:       append([]string(nil), *trace...),
+			Expected:    expected,
+			PivotTables: pt,
+			Negative:    true,
+		}, nil
+	}
+	*trace = (*trace)[:len(*trace)-1]
+	return nil, nil
+}
+
+// falsifiedCondition is the dual of rectifiedCondition: the generated
+// expression is modified to evaluate FALSE on the pivot row.
+func (t *Tester) falsifiedCondition(ctx *interp.Context, cols []gen.ColumnPick, hints []sqlval.Value) (sqlast.Expr, bool) {
+	eg := &gen.ExprGen{Rnd: t.rnd, Cols: cols, Hints: hints, MaxDepth: t.cfg.MaxExprDepth}
+	for tries := 0; tries < 20; tries++ {
+		expr := eg.Generate()
+		tb, err := t.evalBool(expr, ctx)
+		if err != nil {
+			t.stats.Discarded++
+			continue
+		}
+		falsified := RectifyFalse(expr, tb)
+		if check, err := t.evalBool(falsified, ctx); err != nil || check != sqlval.TriFalse {
+			t.stats.Discarded++
+			continue
+		}
+		return falsified, true
+	}
+	return nil, false
+}
+
+// RectifyFalse modifies an expression to yield FALSE: TRUE gets NOT, FALSE
+// stays, NULL gets IS NOT NULL (which is FALSE for a NULL-valued
+// expression).
+func RectifyFalse(expr sqlast.Expr, tb sqlval.TriBool) sqlast.Expr {
+	switch tb {
+	case sqlval.TriTrue:
+		return sqlast.Not(expr)
+	case sqlval.TriFalse:
+		return expr
+	default:
+		return &sqlast.Unary{Op: sqlast.OpNotNull, X: expr}
+	}
+}
+
+func tupleString(vals []sqlval.Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// bindPivot builds the oracle interpreter context and the generator's
+// column/hint pools.
+func (t *Tester) bindPivot(e *engine.Engine, pivots []pivotRow, sg *gen.StateGen) (*interp.Context, []gen.ColumnPick, []sqlval.Value) {
+	ctx := interp.NewContext(t.cfg.Dialect)
+	ctx.CaseSensitiveLike = e.CaseSensitiveLike()
+	var cols []gen.ColumnPick
+	var hints []sqlval.Value
+	for _, p := range pivots {
+		for ci, col := range p.info.Columns {
+			coll, _ := sqlval.ParseCollation(col.Collate)
+			var v sqlval.Value
+			if ci < len(p.vals) {
+				v = p.vals[ci]
+			}
+			ctx.Bind(p.table, col.Name, interp.ColInfo{
+				Val:      v,
+				Coll:     coll,
+				Affinity: sqlval.AffinityOf(col.TypeName),
+				Unsigned: col.Unsigned,
+			})
+			cols = append(cols, gen.ColumnPick{Table: p.table, Column: col})
+			hints = append(hints, v)
+		}
+	}
+	if len(sg.Hints) > 0 {
+		hints = append(hints, sg.Hints...)
+	}
+	return ctx, cols, hints
+}
+
+// rectifiedCondition implements steps 3–4: generate a random expression,
+// evaluate it on the pivot row, and modify it to yield TRUE (Algorithm 3).
+func (t *Tester) rectifiedCondition(ctx *interp.Context, cols []gen.ColumnPick, hints []sqlval.Value) (sqlast.Expr, bool) {
+	eg := &gen.ExprGen{Rnd: t.rnd, Cols: cols, Hints: hints, MaxDepth: t.cfg.MaxExprDepth}
+	for tries := 0; tries < 20; tries++ {
+		expr := eg.Generate()
+		tb, err := t.evalBool(expr, ctx)
+		if err != nil {
+			t.stats.Discarded++
+			continue
+		}
+		if t.cfg.DisableRectification {
+			// Ablation: rejection sampling — only keep TRUE expressions.
+			if tb == sqlval.TriTrue {
+				t.stats.Rectified[tb]++
+				return expr, true
+			}
+			t.stats.Discarded++
+			continue
+		}
+		t.stats.Rectified[tb]++
+		rectified := Rectify(expr, tb)
+		// Sanity: the rectified condition must evaluate TRUE.
+		if check, err := t.evalBool(rectified, ctx); err != nil || check != sqlval.TriTrue {
+			t.stats.Discarded++
+			continue
+		}
+		return rectified, true
+	}
+	return nil, false
+}
+
+// evalBool consults the oracle: the independent interpreter, or (under
+// ablation 1) the engine's own evaluator.
+func (t *Tester) evalBool(expr sqlast.Expr, ctx *interp.Context) (sqlval.TriBool, error) {
+	if !t.cfg.UseEngineAsOracle {
+		return interp.EvalBool(expr, ctx)
+	}
+	ev := engineEvaluatorFor(t.cfg, ctx)
+	return ev.EvalBool(expr, &ctxEnv{ctx: ctx})
+}
+
+// evalValue computes a result-column expression's expected value through
+// the configured oracle (see evalBool).
+func (t *Tester) evalValue(expr sqlast.Expr, ctx *interp.Context) (sqlval.Value, error) {
+	if !t.cfg.UseEngineAsOracle {
+		return interp.Eval(expr, ctx)
+	}
+	ev := engineEvaluatorFor(t.cfg, ctx)
+	return ev.Eval(expr, &ctxEnv{ctx: ctx})
+}
+
+// Rectify is Algorithm 3 verbatim: TRUE stays, FALSE gets NOT, NULL gets
+// IS NULL.
+func Rectify(expr sqlast.Expr, tb sqlval.TriBool) sqlast.Expr {
+	switch tb {
+	case sqlval.TriTrue:
+		return expr
+	case sqlval.TriFalse:
+		return sqlast.Not(expr)
+	default:
+		return sqlast.IsNullExpr(expr)
+	}
+}
+
+// buildQuery implements step 5: a SELECT over the pivot tables whose WHERE
+// (and JOIN) conditions are rectified-TRUE expressions, with random
+// keywords (DISTINCT, ORDER BY, LIMIT, GROUP BY).
+func (t *Tester) buildQuery(ctx *interp.Context, pivots []pivotRow, cols []gen.ColumnPick, hints []sqlval.Value, where sqlast.Expr) (*sqlast.Select, []sqlval.Value, error) {
+	sel := &sqlast.Select{Where: where}
+	var expected []sqlval.Value
+
+	// Result columns: every pivot table column, occasionally replaced by
+	// a random expression on columns (§3.4 extension).
+	eg := &gen.ExprGen{Rnd: t.rnd, Cols: cols, Hints: hints, MaxDepth: t.cfg.MaxExprDepth}
+	for _, p := range pivots {
+		for ci, col := range p.info.Columns {
+			if t.rnd.Bool(0.15) {
+				expr := eg.GenerateValueExpr()
+				v, err := t.evalValue(expr, ctx)
+				if err == nil {
+					sel.Cols = append(sel.Cols, sqlast.ResultCol{X: expr})
+					expected = append(expected, v)
+					continue
+				}
+				t.stats.Discarded++
+			}
+			sel.Cols = append(sel.Cols, sqlast.ResultCol{X: sqlast.Col(p.table, col.Name)})
+			var v sqlval.Value
+			if ci < len(p.vals) {
+				v = p.vals[ci]
+			}
+			expected = append(expected, v)
+		}
+	}
+
+	// FROM and JOIN clauses. With multiple tables, sometimes express one
+	// as JOIN ... ON <rectified-TRUE condition>.
+	sel.From = []sqlast.TableRef{{Name: pivots[0].table}}
+	for _, p := range pivots[1:] {
+		if t.rnd.Bool(0.3) {
+			on, ok := t.rectifiedCondition(ctx, cols, hints)
+			if !ok {
+				on = sqlast.Lit(trueLiteral(t.cfg.Dialect))
+			}
+			kind := sqlast.JoinInner
+			// LEFT JOIN is containment-safe: the pivot pair satisfies
+			// the rectified ON condition, so it is always matched.
+			if t.rnd.Bool(0.35) {
+				kind = sqlast.JoinLeft
+			}
+			sel.Joins = append(sel.Joins, sqlast.JoinClause{
+				Kind:  kind,
+				Table: sqlast.TableRef{Name: p.table},
+				On:    on,
+			})
+			continue
+		}
+		sel.From = append(sel.From, sqlast.TableRef{Name: p.table})
+	}
+
+	// Random query keywords (step 5: "we randomly select appropriate
+	// keywords when generating these queries").
+	switch {
+	case t.cfg.Dialect == dialect.Postgres && t.rnd.Bool(0.25):
+		// GROUP BY over every result column is containment-preserving
+		// (and the Listing 15 trigger).
+		for _, rc := range sel.Cols {
+			sel.GroupBy = append(sel.GroupBy, rc.X)
+		}
+	case t.rnd.Bool(0.3):
+		sel.Distinct = true
+	}
+	if t.rnd.Bool(0.25) {
+		rc := sel.Cols[t.rnd.Intn(len(sel.Cols))]
+		sel.OrderBy = []sqlast.OrderItem{{X: rc.X, Desc: t.rnd.Bool(0.5)}}
+		if t.rnd.Bool(0.5) {
+			// A LIMIT at least as large as any possible result set never
+			// excludes the pivot row.
+			sel.Limit = sqlast.Lit(sqlval.Int(1_000_000))
+		}
+	}
+	return sel, expected, nil
+}
+
+func trueLiteral(d dialect.Dialect) sqlval.Value {
+	if d == dialect.Postgres {
+		return sqlval.Bool(true)
+	}
+	return sqlval.Int(1)
+}

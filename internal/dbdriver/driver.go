@@ -1,0 +1,192 @@
+// Package dbdriver exposes the engine substrate through database/sql, so
+// example code reads like ordinary Go database code. The DSN selects the
+// dialect profile and, optionally, injected faults:
+//
+//	db, _ := sql.Open("pqs", "sqlite")
+//	db, _ := sql.Open("pqs", "mysql?fault=mysql.double-negation,mysql.set-option-error")
+//
+// The driver supports plain statements only (no placeholders or
+// transactions) — the same surface SQLancer uses against a DBMS.
+package dbdriver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dialect"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/sqlval"
+)
+
+func init() {
+	sql.Register("pqs", &Driver{})
+}
+
+// Driver implements driver.Driver for the engine substrate.
+type Driver struct{}
+
+// Open parses the DSN and opens a fresh in-memory database.
+func (*Driver) Open(dsn string) (driver.Conn, error) {
+	name, query, _ := strings.Cut(dsn, "?")
+	d, err := dialect.Parse(strings.TrimSpace(name))
+	if err != nil {
+		return nil, err
+	}
+	var opts []engine.Option
+	if query != "" {
+		for _, kv := range strings.Split(query, "&") {
+			k, v, _ := strings.Cut(kv, "=")
+			if k != "fault" {
+				return nil, fmt.Errorf("pqs driver: unknown DSN parameter %q", k)
+			}
+			fs := faults.NewSet()
+			for _, fname := range strings.Split(v, ",") {
+				f := faults.Fault(strings.TrimSpace(fname))
+				if _, ok := faults.Lookup(f); !ok {
+					return nil, fmt.Errorf("pqs driver: unknown fault %q", fname)
+				}
+				fs.Enable(f)
+			}
+			opts = append(opts, engine.WithFaults(fs))
+		}
+	}
+	return &conn{e: engine.Open(d, opts...)}, nil
+}
+
+type conn struct {
+	e *engine.Engine
+}
+
+// Prepare implements driver.Conn.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return &stmt{c: c, query: query}, nil
+}
+
+// Close implements driver.Conn.
+func (c *conn) Close() error { return nil }
+
+// Begin implements driver.Conn; transactions are unsupported.
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("pqs driver: transactions are not supported")
+}
+
+// Engine exposes the underlying engine for white-box assertions in tests.
+func (c *conn) Engine() *engine.Engine { return c.e }
+
+var (
+	_ driver.QueryerContext = (*conn)(nil)
+	_ driver.ExecerContext  = (*conn)(nil)
+)
+
+// ExecContext implements driver.ExecerContext.
+func (c *conn) ExecContext(_ context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	if len(args) > 0 {
+		return nil, fmt.Errorf("pqs driver: placeholders are not supported")
+	}
+	res, err := c.e.Exec(query)
+	if err != nil {
+		return nil, err
+	}
+	return execResult{affected: int64(res.RowsAffected)}, nil
+}
+
+// QueryContext implements driver.QueryerContext.
+func (c *conn) QueryContext(_ context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, fmt.Errorf("pqs driver: placeholders are not supported")
+	}
+	res, err := c.e.Exec(query)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+type stmt struct {
+	c     *conn
+	query string
+}
+
+// Close implements driver.Stmt.
+func (s *stmt) Close() error { return nil }
+
+// NumInput implements driver.Stmt; placeholders are unsupported.
+func (s *stmt) NumInput() int { return 0 }
+
+// Exec implements driver.Stmt.
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.c.ExecContext(context.Background(), s.query, nil)
+}
+
+// Query implements driver.Stmt.
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.c.QueryContext(context.Background(), s.query, nil)
+}
+
+type execResult struct{ affected int64 }
+
+// LastInsertId implements driver.Result.
+func (execResult) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("pqs driver: LastInsertId is not supported")
+}
+
+// RowsAffected implements driver.Result.
+func (r execResult) RowsAffected() (int64, error) { return r.affected, nil }
+
+type rows struct {
+	res *engine.Result
+	pos int
+}
+
+// Columns implements driver.Rows.
+func (r *rows) Columns() []string { return r.res.Columns }
+
+// Close implements driver.Rows.
+func (r *rows) Close() error { return nil }
+
+// Next implements driver.Rows.
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.res.Rows) {
+		return io.EOF
+	}
+	row := r.res.Rows[r.pos]
+	r.pos++
+	for i := range dest {
+		if i < len(row) {
+			dest[i] = toDriverValue(row[i])
+		} else {
+			dest[i] = nil
+		}
+	}
+	return nil
+}
+
+func toDriverValue(v sqlval.Value) driver.Value {
+	switch v.Kind() {
+	case sqlval.KNull:
+		return nil
+	case sqlval.KInt:
+		return v.Int64()
+	case sqlval.KUint:
+		// database/sql has no unsigned type; render large values as text.
+		if v.Uint64() <= 1<<63-1 {
+			return int64(v.Uint64())
+		}
+		return v.Literal()
+	case sqlval.KReal:
+		return v.Float64()
+	case sqlval.KText:
+		return v.Str()
+	case sqlval.KBlob:
+		return append([]byte(nil), v.Bytes()...)
+	case sqlval.KBool:
+		return v.BoolVal()
+	default:
+		return nil
+	}
+}

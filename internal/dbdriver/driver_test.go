@@ -1,0 +1,108 @@
+package dbdriver
+
+import (
+	"database/sql"
+	"testing"
+)
+
+func TestDriverRoundTrip(t *testing.T) {
+	db, err := sql.Open("pqs", "sqlite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Pin a single connection: each driver connection is its own
+	// in-memory database.
+	db.SetMaxOpenConns(1)
+
+	if _, err := db.Exec(`CREATE TABLE t0(c0, c1 TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`INSERT INTO t0(c0, c1) VALUES (1, 'a'), (NULL, 'b')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 2 {
+		t.Errorf("RowsAffected = %d", n)
+	}
+
+	rowsIter, err := db.Query(`SELECT c0, c1 FROM t0 ORDER BY c1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rowsIter.Close()
+	cols, _ := rowsIter.Columns()
+	if len(cols) != 2 || cols[0] != "c0" {
+		t.Errorf("columns = %v", cols)
+	}
+	var got []struct {
+		c0 sql.NullInt64
+		c1 string
+	}
+	for rowsIter.Next() {
+		var r struct {
+			c0 sql.NullInt64
+			c1 string
+		}
+		if err := rowsIter.Scan(&r.c0, &r.c1); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r)
+	}
+	if len(got) != 2 || !got[0].c0.Valid || got[0].c0.Int64 != 1 || got[1].c0.Valid {
+		t.Errorf("rows = %+v", got)
+	}
+}
+
+func TestDriverFaultDSN(t *testing.T) {
+	db, err := sql.Open("pqs", "sqlite?fault=sqlite.partial-index-not-null")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	setup := []string{
+		`CREATE TABLE t0(c0)`,
+		`CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL`,
+		`INSERT INTO t0(c0) VALUES (0), (1), (2), (3), (NULL)`,
+	}
+	for _, s := range setup {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := db.Query(`SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if n != 3 {
+		t.Errorf("Listing 1 through database/sql: %d rows, want 3 (bug present)", n)
+	}
+}
+
+func TestDriverErrors(t *testing.T) {
+	if _, err := (&Driver{}).Open("oracle"); err == nil {
+		t.Error("unknown dialect should fail")
+	}
+	if _, err := (&Driver{}).Open("sqlite?fault=nope"); err == nil {
+		t.Error("unknown fault should fail")
+	}
+	if _, err := (&Driver{}).Open("sqlite?rows=3"); err == nil {
+		t.Error("unknown parameter should fail")
+	}
+	db, _ := sql.Open("pqs", "postgres")
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+	if _, err := db.Exec(`SELECT * FROM missing`); err == nil {
+		t.Error("missing table should error")
+	}
+	if _, err := db.Begin(); err == nil {
+		t.Error("transactions should be unsupported")
+	}
+}

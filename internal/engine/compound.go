@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"repro/internal/sqlast"
+	"repro/internal/sqlval"
+	"repro/internal/xerr"
+)
+
+// execCompound evaluates UNION / UNION ALL / INTERSECT / EXCEPT chains,
+// left-associatively. The set operators use SQL's DISTINCT-style equality:
+// NULLs compare equal, numeric values compare across storage classes.
+func (e *Engine) execCompound(n *sqlast.Compound) (*Result, error) {
+	e.cov.hit("dql.compound")
+	if len(n.Selects) < 2 || len(n.Ops) != len(n.Selects)-1 {
+		return nil, xerr.New(xerr.CodeSyntax, "malformed compound select")
+	}
+	acc, err := e.execSelect(n.Selects[0])
+	if err != nil {
+		return nil, err
+	}
+	for i, sel := range n.Selects[1:] {
+		right, err := e.execSelect(sel)
+		if err != nil {
+			return nil, err
+		}
+		if len(acc.Columns) != len(right.Columns) {
+			return nil, xerr.New(xerr.CodeSyntax,
+				"SELECTs to the left and right of %s do not have the same number of result columns",
+				n.Ops[i])
+		}
+		switch n.Ops[i] {
+		case sqlast.OpUnionAll:
+			acc = &Result{Columns: acc.Columns, Rows: append(acc.Rows, right.Rows...)}
+		case sqlast.OpUnion:
+			acc = &Result{Columns: acc.Columns, Rows: setDedup(append(acc.Rows, right.Rows...))}
+		case sqlast.OpIntersect:
+			acc = &Result{Columns: acc.Columns, Rows: setIntersect(acc.Rows, right.Rows)}
+		case sqlast.OpExcept:
+			acc = &Result{Columns: acc.Columns, Rows: setExcept(acc.Rows, right.Rows)}
+		}
+		e.cov.hit("dql.compound." + n.Ops[i].String())
+	}
+	return acc, nil
+}
+
+// rowsSetEqual is DISTINCT-style row equality: NULLs equal, numerics
+// compare across storage classes, text under BINARY.
+func rowsSetEqual(a, b []sqlval.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].IsNull() || b[i].IsNull() {
+			if a[i].IsNull() != b[i].IsNull() {
+				return false
+			}
+			continue
+		}
+		if sqlval.Compare(a[i], b[i], sqlval.CollBinary) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func setContains(rows [][]sqlval.Value, row []sqlval.Value) bool {
+	for _, r := range rows {
+		if rowsSetEqual(r, row) {
+			return true
+		}
+	}
+	return false
+}
+
+func setDedup(rows [][]sqlval.Value) [][]sqlval.Value {
+	var out [][]sqlval.Value
+	for _, r := range rows {
+		if !setContains(out, r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func setIntersect(left, right [][]sqlval.Value) [][]sqlval.Value {
+	var out [][]sqlval.Value
+	for _, r := range setDedup(left) {
+		if setContains(right, r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func setExcept(left, right [][]sqlval.Value) [][]sqlval.Value {
+	var out [][]sqlval.Value
+	for _, r := range setDedup(left) {
+		if !setContains(right, r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

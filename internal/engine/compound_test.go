@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/sqlval"
+	"repro/internal/xerr"
+)
+
+func compoundFixture(t *testing.T) *Engine {
+	t.Helper()
+	e := Open(dialect.SQLite)
+	mustExec(t, e, `CREATE TABLE a(x); CREATE TABLE b(x);
+		INSERT INTO a(x) VALUES (1), (2), (2), (NULL);
+		INSERT INTO b(x) VALUES (2), (3), (NULL)`)
+	return e
+}
+
+func TestUnion(t *testing.T) {
+	e := compoundFixture(t)
+	// UNION dedups: {1, 2, NULL, 3}.
+	if n := rowCount(t, e, `SELECT x FROM a UNION SELECT x FROM b`); n != 4 {
+		t.Errorf("UNION: %d rows, want 4", n)
+	}
+	// UNION ALL keeps everything: 4 + 3.
+	if n := rowCount(t, e, `SELECT x FROM a UNION ALL SELECT x FROM b`); n != 7 {
+		t.Errorf("UNION ALL: %d rows, want 7", n)
+	}
+}
+
+func TestIntersectAndExcept(t *testing.T) {
+	e := compoundFixture(t)
+	// INTERSECT: {2, NULL} (NULLs compare equal in set ops).
+	if n := rowCount(t, e, `SELECT x FROM a INTERSECT SELECT x FROM b`); n != 2 {
+		t.Errorf("INTERSECT: %d rows, want 2", n)
+	}
+	// EXCEPT: {1}.
+	res := mustExec(t, e, `SELECT x FROM a EXCEPT SELECT x FROM b`)
+	if len(res.Rows) != 1 || !res.Rows[0][0].Equal(sqlval.Int(1)) {
+		t.Errorf("EXCEPT: %v", res.Rows)
+	}
+}
+
+func TestCompoundChain(t *testing.T) {
+	e := compoundFixture(t)
+	// Left-associative: (a EXCEPT b) UNION (SELECT 9) = {1, 9}.
+	if n := rowCount(t, e, `SELECT x FROM a EXCEPT SELECT x FROM b UNION SELECT 9`); n != 2 {
+		t.Errorf("chain: %d rows, want 2", n)
+	}
+}
+
+// The paper's step 6+7 containment idiom: a literal SELECT intersected
+// with the pivot query returns a row iff the pivot is contained.
+func TestIntersectContainmentIdiom(t *testing.T) {
+	e := Open(dialect.SQLite)
+	mustExec(t, e, `CREATE TABLE t0(c0, c1);
+		INSERT INTO t0(c0, c1) VALUES (3, -5), (2, 0)`)
+	if n := rowCount(t, e, `SELECT 3, -5 INTERSECT SELECT c0, c1 FROM t0`); n != 1 {
+		t.Errorf("contained pivot: %d rows, want 1", n)
+	}
+	if n := rowCount(t, e, `SELECT 7, 7 INTERSECT SELECT c0, c1 FROM t0`); n != 0 {
+		t.Errorf("absent pivot: %d rows, want 0", n)
+	}
+	// NULL pivots intersect too.
+	mustExec(t, e, `INSERT INTO t0(c0) VALUES (9)`)
+	if n := rowCount(t, e, `SELECT 9, NULL INTERSECT SELECT c0, c1 FROM t0`); n != 1 {
+		t.Errorf("NULL pivot: %d rows, want 1", n)
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	e := Open(dialect.SQLite)
+	res := mustExec(t, e, `SELECT 1, 'a'`)
+	if len(res.Rows) != 1 || !res.Rows[0][0].Equal(sqlval.Int(1)) {
+		t.Errorf("constant select: %v", res.Rows)
+	}
+	// Listing 2's shape runs through the engine now.
+	res = mustExec(t, e, `SELECT '' - 2851427734582196970`)
+	if !res.Rows[0][0].Equal(sqlval.Int(-2851427734582196970)) {
+		t.Errorf("Listing 2 via engine: %v", res.Rows[0][0])
+	}
+}
+
+func TestCompoundColumnMismatch(t *testing.T) {
+	e := compoundFixture(t)
+	_, err := e.Exec(`SELECT x FROM a UNION SELECT x, x FROM b`)
+	if !xerr.Is(err, xerr.CodeSyntax) {
+		t.Errorf("column count mismatch: %v", err)
+	}
+}

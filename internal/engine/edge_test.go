@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/faults"
+	"repro/internal/sqlval"
+	"repro/internal/xerr"
+)
+
+func TestGroupByHaving(t *testing.T) {
+	e := Open(dialect.SQLite)
+	mustExec(t, e, `CREATE TABLE t0(g, v);
+		INSERT INTO t0(g, v) VALUES (1, 10), (1, 20), (2, 5), (NULL, 1), (NULL, 2)`)
+	// NULLs form one group.
+	if n := rowCount(t, e, `SELECT g FROM t0 GROUP BY g`); n != 3 {
+		t.Errorf("groups: %d, want 3", n)
+	}
+	res := mustExec(t, e, `SELECT g, SUM(v) FROM t0 GROUP BY g HAVING g = 1`)
+	if len(res.Rows) != 1 || !res.Rows[0][1].Equal(sqlval.Int(30)) {
+		t.Errorf("having: %v", res.Rows)
+	}
+}
+
+func TestAggregateEdgeCases(t *testing.T) {
+	e := Open(dialect.SQLite)
+	mustExec(t, e, `CREATE TABLE t0(c0)`)
+	// Empty table: COUNT 0, SUM NULL, TOTAL 0.0 (SQLite semantics).
+	res := mustExec(t, e, `SELECT COUNT(c0), SUM(c0), TOTAL(c0), AVG(c0) FROM t0`)
+	row := res.Rows[0]
+	if !row[0].Equal(sqlval.Int(0)) || !row[1].IsNull() ||
+		!row[2].Equal(sqlval.Real(0)) || !row[3].IsNull() {
+		t.Errorf("empty-table aggregates: %v", row)
+	}
+	// Mixed int/real SUM promotes to real.
+	mustExec(t, e, `INSERT INTO t0(c0) VALUES (1), (0.5)`)
+	res = mustExec(t, e, `SELECT SUM(c0) FROM t0`)
+	if res.Rows[0][0].Kind() != sqlval.KReal || !res.Rows[0][0].Equal(sqlval.Real(1.5)) {
+		t.Errorf("mixed SUM: %v (%v)", res.Rows[0][0], res.Rows[0][0].Kind())
+	}
+}
+
+func TestViewInJoin(t *testing.T) {
+	e := Open(dialect.SQLite)
+	mustExec(t, e, `CREATE TABLE t0(c0); INSERT INTO t0(c0) VALUES (1), (2);
+		CREATE VIEW v0 AS SELECT c0 FROM t0 WHERE c0 > 1`)
+	if n := rowCount(t, e, `SELECT * FROM t0, v0`); n != 2 {
+		t.Errorf("table x view: %d rows, want 2", n)
+	}
+}
+
+func TestOffsetBeyondEnd(t *testing.T) {
+	e := Open(dialect.SQLite)
+	mustExec(t, e, `CREATE TABLE t0(c0); INSERT INTO t0(c0) VALUES (1)`)
+	if n := rowCount(t, e, `SELECT c0 FROM t0 ORDER BY c0 LIMIT 5 OFFSET 10`); n != 0 {
+		t.Errorf("offset beyond end: %d rows", n)
+	}
+	if _, err := e.Exec(`SELECT c0 FROM t0 LIMIT 'x'`); !xerr.Is(err, xerr.CodeType) {
+		t.Errorf("non-integer LIMIT: %v", err)
+	}
+}
+
+func TestCheckTableOKPath(t *testing.T) {
+	e := Open(dialect.MySQL)
+	mustExec(t, e, `CREATE TABLE t0(c0 INT);
+		CREATE INDEX i0 ON t0(c0);
+		INSERT INTO t0(c0) VALUES (1), (2)`)
+	res := mustExec(t, e, `CHECK TABLE t0`)
+	if len(res.Rows) != 1 || res.Rows[0][1].Str() != "OK" {
+		t.Errorf("CHECK TABLE: %v", res.Rows)
+	}
+	mustExec(t, e, `REPAIR TABLE t0`)
+	if e.RowCount("t0") != 2 {
+		t.Error("correct REPAIR must not drop rows")
+	}
+}
+
+func TestMySQLClamping(t *testing.T) {
+	e := Open(dialect.MySQL)
+	mustExec(t, e, `CREATE TABLE t0(c0 TINYINT, c1 INT UNSIGNED);
+		INSERT INTO t0(c0, c1) VALUES (300, -5), (-300, 7)`)
+	res := mustExec(t, e, `SELECT c0, c1 FROM t0`)
+	if !res.Rows[0][0].Equal(sqlval.Int(127)) || !res.Rows[1][0].Equal(sqlval.Int(-128)) {
+		t.Errorf("tinyint clamp: %v", res.Rows)
+	}
+	if !res.Rows[0][1].Equal(sqlval.Uint(0)) || !res.Rows[1][1].Equal(sqlval.Uint(7)) {
+		t.Errorf("unsigned clamp: %v", res.Rows)
+	}
+}
+
+func TestDialectFences(t *testing.T) {
+	// Dialect-specific syntax is rejected outside its home dialect.
+	if _, err := Open(dialect.MySQL).Exec(`CREATE TABLE t(c0) WITHOUT ROWID`); err == nil {
+		t.Error("WITHOUT ROWID outside sqlite should fail")
+	}
+	if _, err := Open(dialect.SQLite).Exec(`CREATE TABLE t(c0 INT) ENGINE = MEMORY`); err == nil {
+		t.Error("ENGINE outside mysql should fail")
+	}
+	if _, err := Open(dialect.SQLite).Exec(`CREATE TABLE t(c0 INT) INHERITS (x)`); err == nil {
+		t.Error("INHERITS outside postgres should fail")
+	}
+	if _, err := Open(dialect.SQLite).Exec(`REPAIR TABLE t`); err == nil {
+		t.Error("REPAIR TABLE outside mysql should fail")
+	}
+	if _, err := Open(dialect.MySQL).Exec(`VACUUM FULL`); err == nil {
+		t.Error("VACUUM FULL outside postgres should fail")
+	}
+	if _, err := Open(dialect.SQLite).Exec(`CREATE TABLE t(c0 INT UNSIGNED)`); err == nil {
+		t.Error("UNSIGNED outside mysql should fail")
+	}
+}
+
+func TestInheritanceTypeMismatch(t *testing.T) {
+	e := Open(dialect.Postgres)
+	mustExec(t, e, `CREATE TABLE t0(c0 BOOLEAN)`)
+	if _, err := e.Exec(`CREATE TABLE t1(c0 REAL) INHERITS (t0)`); !xerr.Is(err, xerr.CodeType) {
+		t.Errorf("inherited column type change should be rejected: %v", err)
+	}
+	// Restating the same type is fine.
+	mustExec(t, e, `CREATE TABLE t2(c0 BOOLEAN) INHERITS (t0)`)
+}
+
+func TestFromOnlyExcludesChildren(t *testing.T) {
+	e := Open(dialect.Postgres)
+	mustExec(t, e, `CREATE TABLE t0(c0 INT);
+		CREATE TABLE t1(c0 INT) INHERITS (t0);
+		INSERT INTO t0(c0) VALUES (1);
+		INSERT INTO t1(c0) VALUES (2)`)
+	if n := rowCount(t, e, `SELECT * FROM t0`); n != 2 {
+		t.Errorf("inheritance scan: %d rows, want 2", n)
+	}
+	if n := rowCount(t, e, `SELECT * FROM ONLY t0`); n != 1 {
+		t.Errorf("ONLY scan: %d rows, want 1", n)
+	}
+}
+
+func TestCorruptionPersists(t *testing.T) {
+	e := Open(dialect.SQLite, WithFaults(faultSetOf(t, "generic.vacuum-corrupt")))
+	mustExec(t, e, `CREATE TABLE t0(c0)`)
+	_, _ = e.Exec(`VACUUM`)
+	if ok, msg := e.Corrupted(); !ok || msg == "" {
+		t.Error("corruption state should be visible")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Exec(`SELECT 1`); !xerr.Is(err, xerr.CodeCorrupt) {
+			t.Fatalf("statement %d after corruption: %v", i, err)
+		}
+	}
+}
+
+// faultSetOf builds a fault set from ids, failing on unknown names.
+func faultSetOf(t *testing.T, ids ...string) *faults.Set {
+	t.Helper()
+	fs := faults.NewSet()
+	for _, id := range ids {
+		f := faults.Fault(id)
+		if _, ok := faults.Lookup(f); !ok {
+			t.Fatalf("unknown fault %q", id)
+		}
+		fs.Enable(f)
+	}
+	return fs
+}

@@ -1,0 +1,331 @@
+// Package engine implements the embedded SQL engine substrate: catalog,
+// storage, planner, and executor for the three dialect profiles. It is the
+// "DBMS under test" of the reproduction; the injected bugs from
+// internal/faults live at specific sites in this package and internal/eval.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dialect"
+	"repro/internal/eval"
+	"repro/internal/faults"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+	"repro/internal/sqlval"
+	"repro/internal/storage"
+	"repro/internal/xerr"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	Columns      []string
+	Rows         [][]sqlval.Value
+	RowsAffected int
+}
+
+// tableState is the engine's per-table bookkeeping beyond catalog+heap.
+type tableState struct {
+	analyzed      bool  // ANALYZE has run (skip-scan trigger)
+	hasStats      bool  // CREATE STATISTICS exists (pg)
+	renamedColumn bool  // a column was renamed (crash-fault trigger)
+	updateSeq     int64 // statement seq of the last UPDATE
+	bigIntSeen    bool  // an inserted value reached int32 max (Listing 18)
+	lastInsert    int64 // rowid of the most recent insert (visibility fault)
+
+	// Listing 8 reproduction: after RENAME COLUMN, a double-quoted index
+	// string hijacks the projection of column dqHijackCol.
+	dqHijackCol int
+	dqHijackVal string
+}
+
+// Engine is one in-memory database instance. It is safe for concurrent use;
+// statements are serialized, like SQLite in its default mode.
+type Engine struct {
+	mu sync.Mutex
+
+	d   dialect.Dialect
+	fs  *faults.Set
+	cat *schema.Catalog
+	ev  *eval.Evaluator
+
+	data  map[string]*storage.TableData // keyed by lower-case table name
+	idx   map[string]*storage.IndexData // keyed by lower-case index name
+	state map[string]*tableState
+
+	seq               int64
+	corrupt           string // non-empty: database is corrupted; message
+	caseSensitiveLike bool
+	globals           map[string]sqlval.Value
+
+	cov *Coverage
+}
+
+// Option configures an Engine at Open time.
+type Option func(*Engine)
+
+// WithFaults enables an injected-bug set.
+func WithFaults(fs *faults.Set) Option {
+	return func(e *Engine) { e.fs = fs }
+}
+
+// Open creates an empty database for the dialect.
+func Open(d dialect.Dialect, opts ...Option) *Engine {
+	e := &Engine{
+		d:       d,
+		cat:     schema.NewCatalog(),
+		data:    map[string]*storage.TableData{},
+		idx:     map[string]*storage.IndexData{},
+		state:   map[string]*tableState{},
+		globals: map[string]sqlval.Value{},
+		cov:     newCoverage(),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	e.ev = &eval.Evaluator{D: d, Faults: e.fs}
+	return e
+}
+
+// Dialect reports the engine's dialect profile.
+func (e *Engine) Dialect() dialect.Dialect { return e.d }
+
+// Faults exposes the enabled fault set (nil when none).
+func (e *Engine) Faults() *faults.Set { return e.fs }
+
+// crashPanic is the payload of a simulated SEGFAULT.
+type crashPanic struct{ site string }
+
+// Exec parses and executes src (one or more ';'-separated statements) and
+// returns the last statement's result. A simulated crash is returned as an
+// error with xerr.CodeCrash — the analogue of the DBMS process dying.
+func (e *Engine) Exec(src string) (*Result, error) {
+	stmts, err := sqlparse.Parse(src, e.d)
+	if err != nil {
+		return nil, xerr.New(xerr.CodeSyntax, "%v", err)
+	}
+	var res *Result
+	for _, st := range stmts {
+		res, err = e.ExecStmt(st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if res == nil {
+		res = &Result{}
+	}
+	return res, nil
+}
+
+// Query is Exec restricted to a single SELECT.
+func (e *Engine) Query(src string) (*Result, error) {
+	return e.Exec(src)
+}
+
+// ExecStmt executes one parsed statement.
+func (e *Engine) ExecStmt(st sqlast.Stmt) (res *Result, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			if cp, ok := r.(crashPanic); ok {
+				res = nil
+				err = xerr.New(xerr.CodeCrash, "SIGSEGV at %s (simulated)", cp.site)
+				return
+			}
+			panic(r)
+		}
+	}()
+	e.seq++
+	e.cov.hit("stmt." + st.Kind())
+
+	// A corrupted database fails every subsequent data statement, like
+	// SQLite's persistent "database disk image is malformed".
+	if e.corrupt != "" {
+		return nil, xerr.New(xerr.CodeCorrupt, "%s", e.corrupt)
+	}
+
+	switch n := st.(type) {
+	case *sqlast.CreateTable:
+		return e.createTable(n)
+	case *sqlast.CreateIndex:
+		return e.createIndex(n)
+	case *sqlast.CreateView:
+		return e.createView(n)
+	case *sqlast.CreateStats:
+		return e.createStats(n)
+	case *sqlast.Insert:
+		return e.insert(n)
+	case *sqlast.Update:
+		return e.update(n)
+	case *sqlast.Delete:
+		return e.delete(n)
+	case *sqlast.AlterTable:
+		return e.alterTable(n)
+	case *sqlast.Drop:
+		return e.drop(n)
+	case *sqlast.Select:
+		return e.execSelect(n)
+	case *sqlast.Compound:
+		return e.execCompound(n)
+	case *sqlast.Maintenance:
+		return e.maintenance(n)
+	case *sqlast.SetOption:
+		return e.setOption(n)
+	default:
+		return nil, xerr.New(xerr.CodeUnsupported, "unsupported statement %T", st)
+	}
+}
+
+// table resolves a base table (not a view).
+func (e *Engine) table(name string) (*schema.Table, *storage.TableData, error) {
+	t, ok := e.cat.Table(name)
+	if !ok || t.IsView {
+		return nil, nil, xerr.New(xerr.CodeNoObject, "no such table: %s", name)
+	}
+	return t, e.data[lower(t.Name)], nil
+}
+
+func (e *Engine) tableState(name string) *tableState {
+	k := lower(name)
+	ts, ok := e.state[k]
+	if !ok {
+		ts = &tableState{dqHijackCol: -1}
+		e.state[k] = ts
+	}
+	return ts
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// Tables lists base table names (introspection for PQS, like
+// sqlite_master / information_schema.tables).
+func (e *Engine) Tables() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cat.TableNames()
+}
+
+// Views lists view names.
+func (e *Engine) Views() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cat.ViewNames()
+}
+
+// Describe returns a table's introspection record.
+func (e *Engine) Describe(name string) (schema.TableInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.cat.Table(name)
+	if !ok {
+		return schema.TableInfo{}, xerr.New(xerr.CodeNoObject, "no such table: %s", name)
+	}
+	return schema.Describe(t), nil
+}
+
+// Indexes lists index names on a table.
+func (e *Engine) Indexes(table string) []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for _, ix := range e.cat.IndexesOn(table) {
+		out = append(out, ix.Name)
+	}
+	return out
+}
+
+// RawRows returns a copy of a table's stored rows, bypassing the query
+// path entirely. PQS uses this for pivot-row selection (step 2 of the
+// paper): the tester knows which rows it inserted, so pivot selection must
+// reflect ground truth rather than the possibly-buggy SELECT path.
+func (e *Engine) RawRows(table string) [][]sqlval.Value {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	td, ok := e.data[lower(table)]
+	if !ok {
+		return nil
+	}
+	var out [][]sqlval.Value
+	for _, r := range td.Rows() {
+		vals := make([]sqlval.Value, len(r.Vals))
+		copy(vals, r.Vals)
+		out = append(out, vals)
+	}
+	return out
+}
+
+// RowCount reports a table's live row count (0 for unknown tables).
+func (e *Engine) RowCount(table string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	td, ok := e.data[lower(table)]
+	if !ok {
+		return 0
+	}
+	return td.Len()
+}
+
+// Corrupted reports whether the database is marked corrupt and why.
+func (e *Engine) Corrupted() (bool, string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.corrupt != "", e.corrupt
+}
+
+// Coverage returns the feature-coverage counters (Table 4 reproduction).
+func (e *Engine) Coverage() *Coverage { return e.cov }
+
+// constEval evaluates an expression with no row context.
+func (e *Engine) constEval(x sqlast.Expr) (sqlval.Value, error) {
+	return e.ev.Eval(x, eval.EmptyEnv{})
+}
+
+// Coverage counts distinct engine features exercised, standing in for the
+// line/branch coverage of Table 4 (gcov is unavailable for our own
+// substrate while it runs).
+type Coverage struct {
+	mu   sync.Mutex
+	hits map[string]int
+}
+
+func newCoverage() *Coverage { return &Coverage{hits: map[string]int{}} }
+
+func (c *Coverage) hit(feature string) {
+	c.mu.Lock()
+	c.hits[feature]++
+	c.mu.Unlock()
+}
+
+// Features returns the number of distinct features exercised.
+func (c *Coverage) Features() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.hits)
+}
+
+// Snapshot copies the counters.
+func (c *Coverage) Snapshot() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.hits))
+	for k, v := range c.hits {
+		out[k] = v
+	}
+	return out
+}
+
+// String summarizes coverage.
+func (c *Coverage) String() string {
+	return fmt.Sprintf("coverage{%d features}", c.Features())
+}

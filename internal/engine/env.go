@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/schema"
+	"repro/internal/sqlval"
+)
+
+// relation is one FROM source during query execution: a named set of
+// columns and rows (a base table, inheritance scan, or view result).
+type relation struct {
+	name    string // alias or table name, used for qualified lookups
+	table   string // underlying base table name ("" for views/derived)
+	columns []schema.Column
+	engine  string // MySQL storage engine of the base table
+	rows    []*rowVals
+}
+
+// rowVals is one row of a relation during execution.
+type rowVals struct {
+	rowid int64
+	vals  []sqlval.Value
+}
+
+// joinedEnv resolves columns over a set of relations with one current row
+// each. It implements eval.Env.
+type joinedEnv struct {
+	rels    []*relation
+	current []*rowVals // parallel to rels
+}
+
+func (j *joinedEnv) find(table, column string) (int, int) {
+	if table != "" {
+		for ri, r := range j.rels {
+			if strings.EqualFold(r.name, table) || strings.EqualFold(r.table, table) {
+				for ci := range r.columns {
+					if strings.EqualFold(r.columns[ci].Name, column) {
+						return ri, ci
+					}
+				}
+				return -1, -1
+			}
+		}
+		return -1, -1
+	}
+	foundR, foundC, n := -1, -1, 0
+	for ri, r := range j.rels {
+		for ci := range r.columns {
+			if strings.EqualFold(r.columns[ci].Name, column) {
+				foundR, foundC = ri, ci
+				n++
+			}
+		}
+	}
+	if n == 1 {
+		return foundR, foundC
+	}
+	return -1, -1
+}
+
+// ColumnValue implements eval.Env.
+func (j *joinedEnv) ColumnValue(table, column string) (sqlval.Value, bool) {
+	ri, ci := j.find(table, column)
+	if ri < 0 {
+		return sqlval.Null(), false
+	}
+	row := j.current[ri]
+	if row == nil {
+		// NULL-extended side of an outer join.
+		return sqlval.Null(), true
+	}
+	if ci >= len(row.vals) {
+		return sqlval.Null(), true
+	}
+	return row.vals[ci], true
+}
+
+// ColumnMeta implements eval.Env.
+func (j *joinedEnv) ColumnMeta(table, column string) (eval.Meta, bool) {
+	ri, ci := j.find(table, column)
+	if ri < 0 {
+		return eval.Meta{}, false
+	}
+	col := j.rels[ri].columns[ci]
+	return eval.Meta{
+		Coll:        col.Collate,
+		Affinity:    col.Affinity,
+		Unsigned:    col.Unsigned,
+		TypeName:    col.TypeName,
+		TableEngine: j.rels[ri].engine,
+	}, true
+}
+
+// tableEnv is a single-table row environment (DML paths, index keys).
+type tableEnv struct {
+	t      *schema.Table
+	engine string
+	vals   []sqlval.Value
+}
+
+func newTableEnv(t *schema.Table, vals []sqlval.Value) *tableEnv {
+	return &tableEnv{t: t, engine: t.Engine, vals: vals}
+}
+
+// ColumnValue implements eval.Env.
+func (te *tableEnv) ColumnValue(table, column string) (sqlval.Value, bool) {
+	if table != "" && !strings.EqualFold(table, te.t.Name) {
+		return sqlval.Null(), false
+	}
+	ci := te.t.ColumnIndex(column)
+	if ci < 0 || ci >= len(te.vals) {
+		return sqlval.Null(), false
+	}
+	return te.vals[ci], true
+}
+
+// ColumnMeta implements eval.Env.
+func (te *tableEnv) ColumnMeta(table, column string) (eval.Meta, bool) {
+	if table != "" && !strings.EqualFold(table, te.t.Name) {
+		return eval.Meta{}, false
+	}
+	ci := te.t.ColumnIndex(column)
+	if ci < 0 {
+		return eval.Meta{}, false
+	}
+	col := te.t.Columns[ci]
+	return eval.Meta{
+		Coll:        col.Collate,
+		Affinity:    col.Affinity,
+		Unsigned:    col.Unsigned,
+		TypeName:    col.TypeName,
+		TableEngine: te.engine,
+	}, true
+}

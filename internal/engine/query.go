@@ -1,0 +1,999 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/dialect"
+	"repro/internal/faults"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/sqlval"
+	"repro/internal/xerr"
+)
+
+// joinInfo carries the join kind and ON condition for each source after
+// the first.
+type joinInfo struct {
+	kind sqlast.JoinKind
+	on   sqlast.Expr
+}
+
+func (e *Engine) execSelect(n *sqlast.Select) (*Result, error) {
+	e.cov.hit("dql.select")
+	// Resolve sources.
+	var rels []*relation
+	var joins []joinInfo // parallel to rels[1:]
+	for _, tr := range n.From {
+		r, err := e.buildRelation(tr)
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, r)
+		if len(rels) > 1 {
+			joins = append(joins, joinInfo{kind: sqlast.JoinCross})
+		}
+	}
+	for _, jc := range n.Joins {
+		r, err := e.buildRelation(jc.Table)
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, r)
+		joins = append(joins, joinInfo{kind: jc.Kind, on: jc.On})
+	}
+	if err := e.preQueryFaults(n, rels); err != nil {
+		return nil, err
+	}
+
+	// Single-source queries go through the planner (index selection).
+	if len(rels) == 1 {
+		if err := e.planSingle(n, rels[0]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Join / cross product with WHERE filtering.
+	combos, err := e.joinRows(n, rels, joins)
+	if err != nil {
+		return nil, err
+	}
+
+	// GROUP BY / aggregates.
+	outCols, outRows, err := e.project(n, rels, combos)
+	if err != nil {
+		return nil, err
+	}
+
+	if n.Distinct {
+		outRows = e.distinct(outRows)
+	}
+	if len(n.OrderBy) > 0 {
+		if err := e.orderBy(n, rels, outRows, combos); err != nil {
+			return nil, err
+		}
+	}
+	outRows, err = e.applyLimit(n, outRows)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: outCols, Rows: outRows}, nil
+}
+
+// buildRelation materializes one FROM source.
+func (e *Engine) buildRelation(tr sqlast.TableRef) (*relation, error) {
+	t, ok := e.cat.Table(tr.Name)
+	if !ok {
+		return nil, xerr.New(xerr.CodeNoObject, "no such table: %s", tr.Name)
+	}
+	name := tr.Name
+	if tr.Alias != "" {
+		name = tr.Alias
+	}
+	if t.IsView {
+		res, err := e.execSelect(t.ViewDef)
+		if err != nil {
+			return nil, err
+		}
+		r := &relation{name: name, columns: t.Columns}
+		for _, row := range res.Rows {
+			r.rows = append(r.rows, &rowVals{vals: row})
+		}
+		e.cov.hit("dql.view-scan")
+		return r, nil
+	}
+	r := &relation{name: name, table: t.Name, columns: t.Columns, engine: t.Engine}
+	td := e.data[lower(t.Name)]
+	st := e.tableState(t.Name)
+
+	// Fault site (sqlite.rowid-alias-crash): scanning a table after
+	// RENAME COLUMN dereferences a stale column slot.
+	if e.d == dialect.SQLite && e.fs.Has(faults.RowidAliasCrash) && st.renamedColumn {
+		panic(crashPanic{site: "rowid_alias_resolve"})
+	}
+
+	for _, row := range td.Rows() {
+		// Fault site (generic.insert-visibility): the most recent insert
+		// is invisible to scans.
+		if e.d == dialect.MySQL && e.fs.Has(faults.InsertVisibility) && row.Rowid == st.lastInsert {
+			continue
+		}
+		r.rows = append(r.rows, &rowVals{rowid: row.Rowid, vals: row.Vals})
+	}
+
+	// Postgres inheritance: parent scans include children (Listing 15).
+	if e.d == dialect.Postgres && !tr.Only && len(t.Children) > 0 {
+		for _, leaf := range e.cat.InheritanceLeaves(t)[1:] {
+			childTD := e.data[lower(leaf.Name)]
+			for _, row := range childTD.Rows() {
+				proj := make([]sqlval.Value, len(t.Columns))
+				for ci := range t.Columns {
+					cci := leaf.ColumnIndex(t.Columns[ci].Name)
+					if cci >= 0 && cci < len(row.Vals) {
+						proj[ci] = row.Vals[cci]
+					} else {
+						proj[ci] = sqlval.Null()
+					}
+				}
+				r.rows = append(r.rows, &rowVals{rowid: -row.Rowid, vals: proj})
+			}
+		}
+		e.cov.hit("dql.inheritance-scan")
+	}
+	return r, nil
+}
+
+// preQueryFaults raises the error-oracle faults that trigger on SELECT.
+func (e *Engine) preQueryFaults(n *sqlast.Select, rels []*relation) error {
+	for _, r := range rels {
+		if r.table == "" {
+			continue
+		}
+		st := e.tableState(r.table)
+		// Fault site (postgres.stats-bitmapset, Listing 16).
+		if e.d == dialect.Postgres && e.fs.Has(faults.StatsBitmapset) && st.hasStats && st.analyzed {
+			for _, ix := range e.cat.IndexesOn(r.table) {
+				for _, p := range ix.Parts {
+					if _, bare := p.X.(*sqlast.ColumnRef); !bare {
+						return xerr.New(xerr.CodeInternal, "negative bitmapset member not allowed")
+					}
+				}
+			}
+		}
+		// Fault site (postgres.index-null-value, Listing 17): a column
+		// indexed before the last UPDATE holds NULLs the index missed.
+		if e.d == dialect.Postgres && e.fs.Has(faults.IndexNullValue) && n.Where != nil {
+			for _, ix := range e.cat.IndexesOn(r.table) {
+				if st.updateSeq <= ix.BuildSeq {
+					continue
+				}
+				for _, p := range ix.Parts {
+					cr, bare := p.X.(*sqlast.ColumnRef)
+					if !bare {
+						continue
+					}
+					ci := 0
+					if t, ok := e.cat.Table(r.table); ok {
+						ci = t.ColumnIndex(cr.Column)
+					}
+					if ci < 0 {
+						continue
+					}
+					if !whereMentionsColumn(n.Where, cr.Column) {
+						continue
+					}
+					for _, row := range r.rows {
+						if ci < len(row.vals) && row.vals[ci].IsNull() {
+							return xerr.New(xerr.CodeInternal, "found unexpected null value in index %q", ix.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func whereMentionsColumn(where sqlast.Expr, col string) bool {
+	found := false
+	sqlast.WalkExprs(where, func(x sqlast.Expr) bool {
+		if cr, ok := x.(*sqlast.ColumnRef); ok && strings.EqualFold(cr.Column, col) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// planSingle applies index selection to a single-table query, replacing the
+// relation's row set with the index's candidates (a superset of the final
+// answer in a correct engine; the residual WHERE filter still runs).
+func (e *Engine) planSingle(n *sqlast.Select, r *relation) error {
+	if r.table == "" || n.Where == nil && !n.Distinct {
+		return nil
+	}
+	t, ok := e.cat.Table(r.table)
+	if !ok {
+		return nil
+	}
+	st := e.tableState(r.table)
+
+	// Partial-index enumeration: usable when the WHERE clause implies the
+	// index predicate.
+	if n.Where != nil {
+		for _, ix := range e.cat.IndexesOn(r.table) {
+			if ix.Where == nil {
+				continue
+			}
+			if e.predicateImplies(n.Where, ix.Where) {
+				e.cov.hit("plan.partial-index-scan")
+				e.restrictToRowids(r, e.idxRowids(ix))
+				return nil
+			}
+		}
+		// Equality lookup (SQLite only — cross-class coercion in the
+		// other dialects makes raw key lookups unsound).
+		if e.d == dialect.SQLite {
+			if col, val, coll, ok := equalityLookup(n.Where); ok {
+				for _, ix := range e.cat.IndexesOn(r.table) {
+					if ix.Where != nil || len(ix.Parts) == 0 {
+						continue
+					}
+					cr, bare := ix.Parts[0].X.(*sqlast.ColumnRef)
+					if !bare || cr.MaybeString || !strings.EqualFold(cr.Column, col) {
+						continue
+					}
+					// The index can serve the lookup when its declared
+					// collation is at least as coarse as the query's.
+					declared := ix.Parts[0].Collate
+					if !(declared == coll || coll == sqlval.CollBinary) {
+						continue
+					}
+					ci := t.ColumnIndex(col)
+					if ci >= 0 {
+						v := sqlval.ApplyAffinity(val, t.Columns[ci].Affinity)
+						val = v
+					}
+					ixd := e.idx[lower(ix.Name)]
+					if ixd == nil {
+						continue
+					}
+					e.cov.hit("plan.index-eq-lookup")
+					e.restrictToRowids(r, ixd.EqualPrefix([]sqlval.Value{val}))
+					return nil
+				}
+			}
+		}
+	}
+
+	// Fault site (sqlite.skip-scan-distinct, Listing 6): after ANALYZE, a
+	// DISTINCT query uses a skip-scan over a multi-column index and drops
+	// rows whose leading key repeats.
+	if e.d == dialect.SQLite && e.fs.Has(faults.SkipScanDistinct) && n.Distinct && st.analyzed {
+		for _, ix := range e.cat.IndexesOn(r.table) {
+			if ix.Where != nil || len(ix.Parts) < 2 {
+				continue
+			}
+			ixd := e.idx[lower(ix.Name)]
+			if ixd == nil {
+				continue
+			}
+			var keep []int64
+			var prevLead sqlval.Value
+			first := true
+			for _, entry := range ixd.Entries() {
+				if !first && sqlval.Compare(entry.Key[0], prevLead, sqlval.CollBinary) == 0 {
+					continue // bogus skip
+				}
+				first = false
+				prevLead = entry.Key[0]
+				keep = append(keep, entry.Rowid)
+			}
+			e.restrictToRowids(r, keep)
+			return nil
+		}
+	}
+	return nil
+}
+
+// equalityLookup recognizes `col = const` / `col IS const` WHERE roots.
+func equalityLookup(where sqlast.Expr) (col string, val sqlval.Value, coll sqlval.Collation, ok bool) {
+	b, isBin := where.(*sqlast.Binary)
+	if !isBin || (b.Op != sqlast.OpEq && b.Op != sqlast.OpIs) {
+		return "", sqlval.Null(), sqlval.CollBinary, false
+	}
+	l, r := b.L, b.R
+	coll = sqlval.CollBinary
+	if c, isColl := l.(*sqlast.Collate); isColl {
+		l = c.X
+		coll = c.Coll
+	}
+	cr, isCol := l.(*sqlast.ColumnRef)
+	if !isCol || cr.MaybeString {
+		return "", sqlval.Null(), sqlval.CollBinary, false
+	}
+	lit, isLit := r.(*sqlast.Literal)
+	if !isLit {
+		return "", sqlval.Null(), sqlval.CollBinary, false
+	}
+	return cr.Column, lit.Val, coll, true
+}
+
+// predicateImplies reports whether `where` implies the partial-index
+// predicate. The correct engine is deliberately conservative: structural
+// equality of the predicate with the WHERE clause or one of its AND
+// conjuncts.
+func (e *Engine) predicateImplies(where, pred sqlast.Expr) bool {
+	predSQL := sqlast.ExprSQL(sqlast.StripQualifiers(pred), e.d)
+	for _, conj := range conjuncts(where) {
+		if sqlast.ExprSQL(sqlast.StripQualifiers(conj), e.d) == predSQL {
+			return true
+		}
+		// Fault site (sqlite.partial-index-not-null, Listing 1): the
+		// planner assumes `col IS NOT <literal>` implies `col NOT NULL`.
+		if e.d == dialect.SQLite && e.fs.Has(faults.PartialIndexNotNull) {
+			if b, ok := conj.(*sqlast.Binary); ok && b.Op == sqlast.OpIsNot {
+				if cr, ok := stripCollate(b.L).(*sqlast.ColumnRef); ok {
+					if lit, ok := b.R.(*sqlast.Literal); ok && !lit.Val.IsNull() {
+						if u, ok := pred.(*sqlast.Unary); ok && u.Op == sqlast.OpNotNull {
+							if pcr, ok := stripCollate(u.X).(*sqlast.ColumnRef); ok &&
+								strings.EqualFold(pcr.Column, cr.Column) {
+								return true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func stripCollate(e sqlast.Expr) sqlast.Expr {
+	for {
+		c, ok := e.(*sqlast.Collate)
+		if !ok {
+			return e
+		}
+		e = c.X
+	}
+}
+
+func conjuncts(e sqlast.Expr) []sqlast.Expr {
+	if b, ok := e.(*sqlast.Binary); ok && b.Op == sqlast.OpAnd {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []sqlast.Expr{e}
+}
+
+// idxRowids enumerates every rowid in an index.
+func (e *Engine) idxRowids(ix *schema.Index) []int64 {
+	ixd := e.idx[lower(ix.Name)]
+	if ixd == nil {
+		return nil
+	}
+	var out []int64
+	for _, entry := range ixd.Entries() {
+		out = append(out, entry.Rowid)
+	}
+	return out
+}
+
+func (e *Engine) restrictToRowids(r *relation, rowids []int64) {
+	keep := make(map[int64]bool, len(rowids))
+	for _, rid := range rowids {
+		keep[rid] = true
+	}
+	var rows []*rowVals
+	for _, row := range r.rows {
+		if keep[row.rowid] {
+			rows = append(rows, row)
+		}
+	}
+	r.rows = rows
+}
+
+// joinRows enumerates filtered row combinations.
+func (e *Engine) joinRows(n *sqlast.Select, rels []*relation, joins []joinInfo) ([][]*rowVals, error) {
+	// FROM-less SELECT evaluates over a single empty row (SELECT 1).
+	if len(rels) == 0 {
+		combos := [][]*rowVals{{}}
+		if n.Where == nil {
+			return combos, nil
+		}
+		return e.filterCombos(n, rels, combos)
+	}
+	// Fault site (generic.join-predicate-pushdown): with two FROM tables
+	// and a WHERE touching only the second, the "pushdown" also prunes
+	// the first table to a single row.
+	if e.d == dialect.MySQL && e.fs.Has(faults.JoinPredicatePushdown) &&
+		len(rels) == 2 && n.Where != nil && len(n.Joins) == 0 {
+		refs := map[string]bool{}
+		for _, c := range sqlast.ColumnsUsed(n.Where) {
+			if c.Table != "" {
+				refs[strings.ToLower(c.Table)] = true
+			}
+		}
+		if len(refs) == 1 && refs[strings.ToLower(rels[1].name)] && len(rels[0].rows) > 1 {
+			rels[0].rows = rels[0].rows[:1]
+		}
+	}
+
+	// Start with the first relation's rows.
+	combos := make([][]*rowVals, 0, len(rels[0].rows))
+	for _, row := range rels[0].rows {
+		combos = append(combos, []*rowVals{row})
+	}
+	for i := 1; i < len(rels); i++ {
+		j := joins[i-1]
+		var next [][]*rowVals
+		for _, combo := range combos {
+			matched := false
+			for _, row := range rels[i].rows {
+				cand := append(append([]*rowVals{}, combo...), row)
+				if j.on != nil {
+					env := &joinedEnv{rels: rels[:i+1], current: cand}
+					tb, err := e.ev.EvalBool(j.on, env)
+					if err != nil {
+						return nil, err
+					}
+					if tb != sqlval.TriTrue {
+						continue
+					}
+				}
+				// Fault site (postgres.left-join-drop), part 2: a
+				// matched LEFT JOIN row carrying a NULL on the right
+				// side is misclassified as unmatched and dropped.
+				if j.kind == sqlast.JoinLeft && e.d == dialect.Postgres &&
+					e.fs.Has(faults.LeftJoinDrop) && hasNullVal(row) {
+					matched = true
+					continue
+				}
+				matched = true
+				next = append(next, cand)
+			}
+			if !matched && j.kind == sqlast.JoinLeft {
+				// Fault site (postgres.left-join-drop), part 1: LEFT
+				// JOIN behaves as INNER and drops the unmatched left row.
+				if e.d == dialect.Postgres && e.fs.Has(faults.LeftJoinDrop) {
+					continue
+				}
+				next = append(next, append(append([]*rowVals{}, combo...), nil))
+			}
+		}
+		combos = next
+	}
+
+	if n.Where == nil {
+		return combos, nil
+	}
+	return e.filterCombos(n, rels, combos)
+}
+
+func hasNullVal(row *rowVals) bool {
+	for _, v := range row.vals {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// filterCombos applies the WHERE clause to joined row combinations.
+func (e *Engine) filterCombos(n *sqlast.Select, rels []*relation, combos [][]*rowVals) ([][]*rowVals, error) {
+	// Fault site (generic.where-true-drop): the filter loop skips the
+	// first matching row when the WHERE root is an OR over an indexed
+	// column.
+	dropFirst := false
+	if e.d == dialect.SQLite && e.fs.Has(faults.WhereTrueDrop) {
+		if b, ok := n.Where.(*sqlast.Binary); ok && b.Op == sqlast.OpOr {
+			for _, c := range sqlast.ColumnsUsed(n.Where) {
+				for _, r := range rels {
+					if r.table == "" {
+						continue
+					}
+					for _, ix := range e.cat.IndexesOn(r.table) {
+						for _, p := range ix.Parts {
+							if cr, ok := p.X.(*sqlast.ColumnRef); ok && strings.EqualFold(cr.Column, c.Column) {
+								dropFirst = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	var out [][]*rowVals
+	for _, combo := range combos {
+		env := &joinedEnv{rels: rels, current: combo}
+		tb, err := e.ev.EvalBool(n.Where, env)
+		if err != nil {
+			return nil, err
+		}
+		if tb != sqlval.TriTrue {
+			continue
+		}
+		if dropFirst {
+			dropFirst = false
+			continue
+		}
+		out = append(out, combo)
+	}
+	return out, nil
+}
+
+// aggNames are the aggregate functions the executor handles.
+var aggNames = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true, "TOTAL": true}
+
+// isAggregate reports whether a result column is an aggregate call. Scalar
+// MIN/MAX with ≥2 args stay scalar (SQLite semantics).
+func isAggregate(x sqlast.Expr) (*sqlast.FuncCall, bool) {
+	fc, ok := x.(*sqlast.FuncCall)
+	if !ok || !aggNames[strings.ToUpper(fc.Name)] {
+		return nil, false
+	}
+	up := strings.ToUpper(fc.Name)
+	if (up == "MIN" || up == "MAX") && len(fc.Args) != 1 {
+		return nil, false
+	}
+	return fc, true
+}
+
+// project computes output columns and rows, handling GROUP BY and
+// aggregates.
+func (e *Engine) project(n *sqlast.Select, rels []*relation, combos [][]*rowVals) ([]string, [][]sqlval.Value, error) {
+	// Expand result columns.
+	type outCol struct {
+		name string
+		x    sqlast.Expr // nil for star expansion entries (direct value)
+		rel  int         // star source relation
+		col  int         // star source column
+	}
+	var cols []outCol
+	hasAgg := false
+	for i, rc := range n.Cols {
+		if rc.Star {
+			for ri, r := range rels {
+				for ci := range r.columns {
+					cols = append(cols, outCol{name: r.columns[ci].Name, x: nil, rel: ri, col: ci})
+				}
+			}
+			continue
+		}
+		name := rc.Alias
+		if name == "" {
+			if cr, ok := rc.X.(*sqlast.ColumnRef); ok {
+				name = cr.Column
+			} else {
+				name = "col" + itoa(i)
+			}
+		}
+		if _, ok := isAggregate(rc.X); ok {
+			hasAgg = true
+		}
+		cols = append(cols, outCol{name: name, x: rc.X, rel: -1})
+	}
+	outNames := make([]string, len(cols))
+	for i := range cols {
+		outNames[i] = cols[i].name
+	}
+
+	// Listing 8 hijack: the double-quoted index part overrides the
+	// renamed column's projected value under DISTINCT.
+	hijack := func(combo []*rowVals) []*rowVals {
+		if !n.Distinct || e.d != dialect.SQLite || !e.fs.Has(faults.DoubleQuoteIndex) {
+			return combo
+		}
+		out := combo
+		for ri, r := range rels {
+			if r.table == "" {
+				continue
+			}
+			st := e.tableState(r.table)
+			if st.dqHijackCol < 0 || combo[ri] == nil {
+				continue
+			}
+			if out[ri] == combo[ri] {
+				cp := &rowVals{rowid: combo[ri].rowid, vals: append([]sqlval.Value{}, combo[ri].vals...)}
+				if st.dqHijackCol < len(cp.vals) {
+					cp.vals[st.dqHijackCol] = sqlval.Text(st.dqHijackVal)
+				}
+				if ri == 0 {
+					out = append([]*rowVals{cp}, combo[1:]...)
+				} else {
+					out = append(append(append([]*rowVals{}, combo[:ri]...), cp), combo[ri+1:]...)
+				}
+			}
+		}
+		return out
+	}
+
+	evalRow := func(combo []*rowVals) ([]sqlval.Value, error) {
+		combo = hijack(combo)
+		env := &joinedEnv{rels: rels, current: combo}
+		row := make([]sqlval.Value, len(cols))
+		for i, c := range cols {
+			if c.x == nil {
+				if combo[c.rel] == nil || c.col >= len(combo[c.rel].vals) {
+					row[i] = sqlval.Null()
+				} else {
+					row[i] = combo[c.rel].vals[c.col]
+				}
+				continue
+			}
+			v, err := e.ev.Eval(c.x, env)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		return row, nil
+	}
+
+	if len(n.GroupBy) == 0 && !hasAgg {
+		var rows [][]sqlval.Value
+		for _, combo := range combos {
+			row, err := evalRow(combo)
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, row)
+		}
+		return outNames, rows, nil
+	}
+
+	// Grouping.
+	e.cov.hit("dql.group-by")
+	groupKeys := n.GroupBy
+	// Fault site (postgres.inheritance-group-by, Listing 15): grouping an
+	// inheritance scan collapses groups onto the first key only.
+	if e.d == dialect.Postgres && e.fs.Has(faults.InheritanceGroupBy) && len(groupKeys) > 1 {
+		inherited := false
+		for _, r := range rels {
+			if r.table == "" {
+				continue
+			}
+			if t, ok := e.cat.Table(r.table); ok && len(t.Children) > 0 {
+				inherited = true
+			}
+		}
+		if inherited {
+			groupKeys = groupKeys[:1]
+		}
+	}
+
+	type group struct {
+		key    []sqlval.Value
+		combos [][]*rowVals
+	}
+	var groups []*group
+	if len(groupKeys) == 0 {
+		// Implicit single group over all rows (pure-aggregate query).
+		groups = []*group{{combos: combos}}
+	} else {
+		for _, combo := range combos {
+			env := &joinedEnv{rels: rels, current: combo}
+			key := make([]sqlval.Value, len(groupKeys))
+			for i, gx := range groupKeys {
+				v, err := e.ev.Eval(gx, env)
+				if err != nil {
+					return nil, nil, err
+				}
+				key[i] = v
+			}
+			var g *group
+			for _, cand := range groups {
+				if keysEqual(cand.key, key) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = &group{key: key}
+				groups = append(groups, g)
+			}
+			g.combos = append(g.combos, combo)
+		}
+	}
+
+	var rows [][]sqlval.Value
+	for _, g := range groups {
+		rep := make([]*rowVals, len(rels)) // all-NULL row for empty groups
+		if len(g.combos) > 0 {
+			rep = g.combos[0]
+		} else if len(groupKeys) > 0 {
+			continue // only the implicit aggregate group may be empty
+		}
+		env := &joinedEnv{rels: rels, current: rep}
+		if n.Having != nil {
+			tb, err := e.ev.EvalBool(n.Having, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			if tb != sqlval.TriTrue {
+				continue
+			}
+		}
+		row := make([]sqlval.Value, len(cols))
+		for i, c := range cols {
+			if c.x == nil {
+				if rep[c.rel] == nil || c.col >= len(rep[c.rel].vals) {
+					row[i] = sqlval.Null()
+				} else {
+					row[i] = rep[c.rel].vals[c.col]
+				}
+				continue
+			}
+			if fc, ok := isAggregate(c.x); ok {
+				v, err := e.aggregate(fc, rels, g.combos)
+				if err != nil {
+					return nil, nil, err
+				}
+				row[i] = v
+				continue
+			}
+			v, err := e.ev.Eval(c.x, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return outNames, rows, nil
+}
+
+// keysEqual compares group keys: NULLs group together (SQL GROUP BY
+// semantics), unlike ordinary equality.
+func keysEqual(a, b []sqlval.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].IsNull() || b[i].IsNull() {
+			if a[i].IsNull() != b[i].IsNull() {
+				return false
+			}
+			continue
+		}
+		if sqlval.Compare(a[i], b[i], sqlval.CollBinary) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// aggregate computes one aggregate over a group.
+func (e *Engine) aggregate(fc *sqlast.FuncCall, rels []*relation, combos [][]*rowVals) (sqlval.Value, error) {
+	e.cov.hit("dql.aggregate." + strings.ToUpper(fc.Name))
+	up := strings.ToUpper(fc.Name)
+	if up == "COUNT" && len(fc.Args) == 0 {
+		return sqlval.Int(int64(len(combos))), nil
+	}
+	if len(fc.Args) != 1 {
+		return sqlval.Null(), xerr.New(xerr.CodeType, "aggregate %s expects one argument", fc.Name)
+	}
+	var vals []sqlval.Value
+	for _, combo := range combos {
+		env := &joinedEnv{rels: rels, current: combo}
+		v, err := e.ev.Eval(fc.Args[0], env)
+		if err != nil {
+			return sqlval.Null(), err
+		}
+		if !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	switch up {
+	case "COUNT":
+		return sqlval.Int(int64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return sqlval.Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := sqlval.Compare(v, best, sqlval.CollBinary)
+			if (up == "MIN" && c < 0) || (up == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "SUM", "TOTAL", "AVG":
+		if len(vals) == 0 {
+			if up == "TOTAL" {
+				return sqlval.Real(0), nil
+			}
+			return sqlval.Null(), nil
+		}
+		allInt := up != "TOTAL" && up != "AVG"
+		var isum int64
+		var fsum float64
+		for _, v := range vals {
+			if e.d == dialect.Postgres && !v.IsNumeric() {
+				return sqlval.Null(), xerr.New(xerr.CodeType, "%s(%s)", fc.Name, v.Kind())
+			}
+			n := e.ev
+			_ = n
+			var num sqlval.Value
+			switch v.Kind() {
+			case sqlval.KInt, sqlval.KUint, sqlval.KReal, sqlval.KBool:
+				num = v
+			default:
+				num = sqlval.Real(0)
+				if parsed, ok := sqlval.TextToNumeric(v.Display()); ok {
+					num = parsed
+				}
+			}
+			if num.Kind() == sqlval.KInt || num.Kind() == sqlval.KBool {
+				isum += num.Int64()
+				fsum += float64(num.Int64())
+			} else {
+				allInt = false
+				fsum += num.AsFloat()
+			}
+		}
+		switch up {
+		case "AVG":
+			return sqlval.Real(fsum / float64(len(vals))), nil
+		case "TOTAL":
+			return sqlval.Real(fsum), nil
+		default:
+			if allInt {
+				return sqlval.Int(isum), nil
+			}
+			return sqlval.Real(fsum), nil
+		}
+	}
+	return sqlval.Null(), xerr.New(xerr.CodeUnsupported, "aggregate %s", fc.Name)
+}
+
+// distinct deduplicates output rows.
+func (e *Engine) distinct(rows [][]sqlval.Value) [][]sqlval.Value {
+	e.cov.hit("dql.distinct")
+	// Fault site (generic.distinct-collation): DISTINCT compares text
+	// case-insensitively regardless of column collation.
+	coll := sqlval.CollBinary
+	if e.d == dialect.SQLite && e.fs.Has(faults.DistinctCollation) {
+		coll = sqlval.CollNoCase
+	}
+	var out [][]sqlval.Value
+	for _, row := range rows {
+		dup := false
+		for _, prev := range out {
+			same := true
+			for i := range row {
+				if row[i].IsNull() || prev[i].IsNull() {
+					if row[i].IsNull() != prev[i].IsNull() {
+						same = false
+						break
+					}
+					continue
+				}
+				if sqlval.Compare(row[i], prev[i], coll) != 0 {
+					same = false
+					break
+				}
+			}
+			if same {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// orderBy sorts output rows in place by the ORDER BY items. Sort keys are
+// recomputed from output rows when the order expression matches an output
+// column; otherwise they must be simple column references.
+func (e *Engine) orderBy(n *sqlast.Select, rels []*relation, rows [][]sqlval.Value, combos [][]*rowVals) error {
+	e.cov.hit("dql.order-by")
+	// Map order expressions onto output columns by rendered SQL.
+	keyIdx := make([]int, len(n.OrderBy))
+	for i, oi := range n.OrderBy {
+		keyIdx[i] = -1
+		want := sqlast.ExprSQL(oi.X, e.d)
+		for ci, rc := range n.Cols {
+			if rc.Star {
+				continue
+			}
+			if sqlast.ExprSQL(rc.X, e.d) == want || (rc.Alias != "" && rc.Alias == want) {
+				keyIdx[i] = ci
+				break
+			}
+		}
+		// Star projections: resolve a bare column reference positionally.
+		if keyIdx[i] < 0 {
+			if cr, ok := oi.X.(*sqlast.ColumnRef); ok {
+				pos := 0
+				for _, rc := range n.Cols {
+					if !rc.Star {
+						pos++
+						continue
+					}
+					for _, r := range rels {
+						for ci2 := range r.columns {
+							if strings.EqualFold(r.columns[ci2].Name, cr.Column) &&
+								(cr.Table == "" || strings.EqualFold(cr.Table, r.name)) {
+								keyIdx[i] = pos
+							}
+							pos++
+						}
+					}
+				}
+			}
+		}
+		if keyIdx[i] < 0 {
+			return xerr.New(xerr.CodeNoObject, "ORDER BY term does not match any result column")
+		}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i := range keyIdx {
+			va, vb := rows[a][keyIdx[i]], rows[b][keyIdx[i]]
+			c := sqlval.Compare(va, vb, sqlval.CollBinary)
+			if n.OrderBy[i].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// applyLimit applies LIMIT/OFFSET.
+func (e *Engine) applyLimit(n *sqlast.Select, rows [][]sqlval.Value) ([][]sqlval.Value, error) {
+	if n.Limit == nil {
+		return rows, nil
+	}
+	e.cov.hit("dql.limit")
+	lv, err := e.constEval(n.Limit)
+	if err != nil {
+		return nil, err
+	}
+	limit := int(lv.Int64())
+	if lv.Kind() != sqlval.KInt || limit < 0 {
+		return nil, xerr.New(xerr.CodeType, "LIMIT must be a non-negative integer")
+	}
+	offset := 0
+	if n.Offset != nil {
+		ov, err := e.constEval(n.Offset)
+		if err != nil {
+			return nil, err
+		}
+		if ov.Kind() != sqlval.KInt || ov.Int64() < 0 {
+			return nil, xerr.New(xerr.CodeType, "OFFSET must be a non-negative integer")
+		}
+		offset = int(ov.Int64())
+	}
+	if offset >= len(rows) {
+		return nil, nil
+	}
+	rows = rows[offset:]
+	if limit < len(rows) {
+		rows = rows[:limit]
+	}
+	// Fault site (generic.order-by-limit-drop): ORDER BY + LIMIT loses
+	// the last row when any emitted sort key is NULL.
+	if e.d == dialect.Postgres && e.fs.Has(faults.OrderByLimitDrop) &&
+		len(n.OrderBy) > 0 && len(rows) > 0 {
+		hasNull := false
+		for _, row := range rows {
+			for _, v := range row {
+				if v.IsNull() {
+					hasNull = true
+				}
+			}
+		}
+		if hasNull {
+			rows = rows[:len(rows)-1]
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dialect"
+	"repro/internal/interp"
+	"repro/internal/sqlval"
+)
+
+// Property: the engine's numeric-prefix scanner (prefixNumber) and the
+// oracle's (interp.NumericPrefix) are independent implementations of the
+// same specification; they must agree on arbitrary input — any divergence
+// is a future false positive in a campaign.
+func TestNumericPrefixImplsAgreeQuick(t *testing.T) {
+	f := func(s string) bool {
+		a := prefixNumber(s)
+		b := interp.NumericPrefix(s)
+		return a.Kind() == b.Kind() && a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	// Adversarial corpus beyond quick's generator: numeric shapes.
+	corpus := []string{
+		"", " ", "-", "+", ".", "..", "-.", "1.", ".5", "-.5e2", "1e", "1e+",
+		"1e+5x", "0x10", "  12ab", "9223372036854775807", "9223372036854775808",
+		"-9223372036854775808", "-9223372036854775809", "1.7976931348623157e308",
+		"1e999", "00012", "+-3", "1..2", "1.2.3", "\t-42\n",
+	}
+	for _, s := range corpus {
+		a, b := prefixNumber(s), interp.NumericPrefix(s)
+		if a.Kind() != b.Kind() || !a.Equal(b) {
+			t.Errorf("prefix impls disagree on %q: engine=%v(%v) oracle=%v(%v)",
+				s, a, a.Kind(), b, b.Kind())
+		}
+	}
+}
+
+// Property: the two LIKE matchers (iterative engine vs recursive oracle)
+// agree on arbitrary string/pattern pairs over the wildcard alphabet.
+func TestLikeMatchersAgreeQuick(t *testing.T) {
+	alphabet := []byte("ab%_")
+	decode := func(bits uint32, n int) string {
+		out := make([]byte, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, alphabet[(bits>>(2*i))&3])
+		}
+		return string(out)
+	}
+	f := func(sBits, pBits uint32, sn, pn uint8) bool {
+		s := decode(sBits, int(sn%8))
+		p := decode(pBits, int(pn%8))
+		return matchLike(s, p, false) == interp.LikeMatch(s, p, false) &&
+			matchLike(s, p, true) == interp.LikeMatch(s, p, true)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: engine casts and oracle casts agree for every kind/type pair.
+func TestCastImplsAgree(t *testing.T) {
+	vals := []sqlval.Value{
+		sqlval.Null(), sqlval.Int(0), sqlval.Int(-7), sqlval.Int(1 << 62),
+		sqlval.Real(2.9), sqlval.Real(-0.5), sqlval.Text(""), sqlval.Text("12abc"),
+		sqlval.Text("abc"), sqlval.Blob([]byte{0x30}), sqlval.Bool(true),
+	}
+	types := []string{"INTEGER", "TEXT", "REAL", "BLOB", "NUMERIC", "UNSIGNED", "SIGNED", "BOOLEAN"}
+	for _, d := range allDialects() {
+		ev := New(d)
+		for _, v := range vals {
+			for _, ty := range types {
+				a, errA := ev.Cast(v, ty)
+				b, errB := interp.EvalCast(v, ty, d)
+				if (errA == nil) != (errB == nil) {
+					t.Errorf("[%s] CAST(%v AS %s) error mismatch: %v vs %v", d, v, ty, errA, errB)
+					continue
+				}
+				if errA == nil && (a.Kind() != b.Kind() || !a.Equal(b)) {
+					t.Errorf("[%s] CAST(%v AS %s): engine=%v(%v) oracle=%v(%v)",
+						d, v, ty, a, a.Kind(), b, b.Kind())
+				}
+			}
+		}
+	}
+}
+
+func allDialects() []dialect.Dialect { return dialect.All }

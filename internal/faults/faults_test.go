@@ -1,0 +1,94 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dialect"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 36 {
+		t.Fatalf("registry has %d faults, want 36", len(all))
+	}
+	for _, i := range all {
+		if i.ID == "" || i.Desc == "" || i.Paper == "" {
+			t.Errorf("fault %q missing metadata: %+v", i.ID, i)
+		}
+		if i.Oracle != OracleContainment && i.Oracle != OracleError && i.Oracle != OracleCrash {
+			t.Errorf("fault %q has unknown oracle %q", i.ID, i.Oracle)
+		}
+		// Logic bugs must be containment-oracle bugs and vice versa.
+		if i.Logic != (i.Oracle == OracleContainment) {
+			t.Errorf("fault %q: Logic=%v inconsistent with oracle %q", i.ID, i.Logic, i.Oracle)
+		}
+		if !strings.Contains(string(i.ID), ".") {
+			t.Errorf("fault id %q should be namespaced", i.ID)
+		}
+	}
+}
+
+func TestDialectPartition(t *testing.T) {
+	total := 0
+	for _, d := range dialect.All {
+		total += len(ForDialect(d))
+	}
+	if total != len(All()) {
+		t.Errorf("dialect partition covers %d of %d faults", total, len(All()))
+	}
+	// The paper found most bugs in SQLite; the corpus mirrors that skew.
+	if len(ForDialect(dialect.SQLite)) <= len(ForDialect(dialect.Postgres)) {
+		t.Errorf("SQLite corpus should be the largest")
+	}
+}
+
+func TestOracleMix(t *testing.T) {
+	counts := map[Oracle]int{}
+	for _, i := range All() {
+		counts[i.Oracle]++
+	}
+	// Table 3 shape: containment > error > crash.
+	if !(counts[OracleContainment] > counts[OracleError] && counts[OracleError] > counts[OracleCrash]) {
+		t.Errorf("oracle mix %v should follow containment > error > crash", counts)
+	}
+	if counts[OracleCrash] == 0 {
+		t.Error("corpus needs at least one crash fault")
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	var nilSet *Set
+	if nilSet.Has(PartialIndexNotNull) {
+		t.Error("nil set should have nothing enabled")
+	}
+	if !nilSet.Empty() || len(nilSet.List()) != 0 {
+		t.Error("nil set should be empty")
+	}
+	s := NewSet(PartialIndexNotNull, DoubleNegation)
+	if !s.Has(PartialIndexNotNull) || !s.Has(DoubleNegation) || s.Has(RtrimCompare) {
+		t.Error("NewSet enablement wrong")
+	}
+	s.Disable(DoubleNegation)
+	if s.Has(DoubleNegation) {
+		t.Error("Disable failed")
+	}
+	var zero Set
+	zero.Enable(RtrimCompare)
+	if !zero.Has(RtrimCompare) {
+		t.Error("Enable on zero Set failed")
+	}
+	if got := s.List(); len(got) != 1 || got[0] != PartialIndexNotNull {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	i, ok := Lookup(CheckTableCrash)
+	if !ok || i.Dialect != dialect.MySQL || i.Oracle != OracleCrash {
+		t.Errorf("Lookup(CheckTableCrash) = %+v, %v", i, ok)
+	}
+	if _, ok := Lookup("nope.nothing"); ok {
+		t.Error("unknown fault should not resolve")
+	}
+}

@@ -1,0 +1,134 @@
+// Package fuzz is the SQLsmith/AFL-style baseline: it generates random
+// statements and queries but has no containment oracle — it can observe
+// only unexpected errors and crashes. The paper's central claim is that
+// such fuzzers cannot find logic bugs; the baseline-comparison benchmark
+// measures exactly that against the injected-fault corpus.
+package fuzz
+
+import (
+	"repro/internal/core"
+	"repro/internal/dialect"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+	"repro/internal/sqlast"
+	"repro/internal/xerr"
+)
+
+// Config parameterizes a fuzzing session.
+type Config struct {
+	Dialect      dialect.Dialect
+	Seed         int64
+	Faults       *faults.Set
+	QueriesPerDB int
+}
+
+// Fuzzer drives random statements at the engine and watches for crashes
+// and never-expected errors.
+type Fuzzer struct {
+	cfg   Config
+	rnd   *gen.Rand
+	stats core.Stats
+}
+
+// New creates a fuzzer.
+func New(cfg Config) *Fuzzer {
+	if cfg.QueriesPerDB <= 0 {
+		cfg.QueriesPerDB = 30
+	}
+	return &Fuzzer{
+		cfg: cfg,
+		rnd: gen.NewRand(cfg.Dialect, cfg.Seed),
+	}
+}
+
+// Stats exposes work counters.
+func (f *Fuzzer) Stats() core.Stats { return f.stats }
+
+// RunDatabase runs one database lifecycle. Detections carry the same Bug
+// shape as PQS, but the Oracle is always error or segfault — never
+// containment.
+func (f *Fuzzer) RunDatabase() (*core.Bug, error) {
+	e := engine.Open(f.cfg.Dialect, engine.WithFaults(f.cfg.Faults))
+	f.stats.Databases++
+	var trace []string
+
+	apply := func(st sqlast.Stmt) error {
+		sql := sqlast.SQL(st, f.cfg.Dialect)
+		trace = append(trace, sql)
+		f.stats.Statements++
+		_, err := e.Exec(sql)
+		switch v := oracle.Classify(st, err, f.cfg.Dialect); v {
+		case oracle.VerdictBug, oracle.VerdictCrash:
+			code, _ := xerr.CodeOf(err)
+			return &fuzzSignal{bug: &core.Bug{
+				Oracle:  oracle.OracleFor(v),
+				Message: err.Error(),
+				Code:    code,
+				Trace:   append([]string(nil), trace...),
+			}}
+		case oracle.VerdictArtifact:
+			f.stats.Artifacts++
+		}
+		return nil
+	}
+
+	sg := &gen.StateGen{Rnd: f.rnd, E: e}
+	if err := sg.BuildDatabase(apply); err != nil {
+		if sig, ok := err.(*fuzzSignal); ok {
+			return sig.bug, nil
+		}
+		return nil, err
+	}
+
+	// Random queries with arbitrary (unrectified) conditions: result sets
+	// are never validated — the fuzzer has no idea what they should be.
+	for q := 0; q < f.cfg.QueriesPerDB; q++ {
+		sel := f.randomQuery(e, sg)
+		if sel == nil {
+			continue
+		}
+		if err := apply(sel); err != nil {
+			if sig, ok := err.(*fuzzSignal); ok {
+				return sig.bug, nil
+			}
+			return nil, err
+		}
+		// Drop successful queries from the trace like PQS does.
+		trace = trace[:len(trace)-1]
+		f.stats.Queries++
+	}
+	return nil, nil
+}
+
+type fuzzSignal struct{ bug *core.Bug }
+
+// Error implements the error interface.
+func (s *fuzzSignal) Error() string { return "fuzz detection: " + s.bug.Message }
+
+func (f *Fuzzer) randomQuery(e *engine.Engine, sg *gen.StateGen) *sqlast.Select {
+	tables := e.Tables()
+	if len(tables) == 0 {
+		return nil
+	}
+	table := tables[f.rnd.Intn(len(tables))]
+	info, err := e.Describe(table)
+	if err != nil {
+		return nil
+	}
+	var cols []gen.ColumnPick
+	for _, c := range info.Columns {
+		cols = append(cols, gen.ColumnPick{Table: table, Column: c})
+	}
+	eg := &gen.ExprGen{Rnd: f.rnd, Cols: cols, Hints: sg.Hints, MaxDepth: 3}
+	sel := &sqlast.Select{
+		Cols:     []sqlast.ResultCol{{Star: true}},
+		From:     []sqlast.TableRef{{Name: table}},
+		Distinct: f.rnd.Bool(0.3),
+	}
+	if f.rnd.Bool(0.8) {
+		sel.Where = eg.Generate()
+	}
+	return sel
+}

@@ -1,0 +1,384 @@
+package gen
+
+import (
+	"repro/internal/dialect"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/sqlval"
+)
+
+// ColumnPick is one column available to the expression generator, with the
+// (possibly aliased) table name to qualify it by.
+type ColumnPick struct {
+	Table  string
+	Column schema.ColumnInfo
+}
+
+// ExprGen generates random expression ASTs over a schema (Algorithm 1 of
+// the paper). Hints are values drawn from the pivot row and table data so
+// generated constants often collide with stored values — without this bias
+// equality predicates would almost never be satisfiable.
+type ExprGen struct {
+	Rnd      *Rand
+	Cols     []ColumnPick
+	Hints    []sqlval.Value
+	MaxDepth int
+}
+
+// Generate produces an expression suitable for a filter condition.
+// For the strictly-typed Postgres profile the root is boolean-typed; the
+// other dialects convert implicitly, so any expression works.
+//
+// A quarter of conditions are simple `column <op> literal` comparisons
+// with the literal drawn from (a mutation of) a stored value — the shape
+// the planner's index-lookup paths key on, and where most of the paper's
+// index bugs were triggered (Listings 1, 4, 5, 7).
+func (eg *ExprGen) Generate() sqlast.Expr {
+	if eg.MaxDepth <= 0 {
+		eg.MaxDepth = 3
+	}
+	if len(eg.Cols) > 0 && eg.Rnd.Bool(0.25) {
+		return eg.simpleComparison()
+	}
+	if eg.Rnd.D == dialect.Postgres {
+		return eg.genBool(0)
+	}
+	return eg.genAny(0)
+}
+
+// simpleComparison builds `col <op> literal` with an index-lookup-friendly
+// operator and a literal that often collides with (or is a case/space
+// mutation of) a stored value.
+func (eg *ExprGen) simpleComparison() sqlast.Expr {
+	c := eg.Cols[eg.Rnd.Intn(len(eg.Cols))]
+	col := sqlast.Col(c.Table, c.Column.Name)
+	lit := eg.mutatedHint(c)
+	switch eg.Rnd.D {
+	case dialect.SQLite:
+		ops := []sqlast.BinOp{sqlast.OpEq, sqlast.OpEq, sqlast.OpIs, sqlast.OpIsNot, sqlast.OpGt, sqlast.OpLe}
+		return &sqlast.Binary{Op: ops[eg.Rnd.Intn(len(ops))], L: col, R: lit}
+	case dialect.MySQL:
+		ops := []sqlast.BinOp{sqlast.OpEq, sqlast.OpNullSafeEq, sqlast.OpNullSafeEq, sqlast.OpGt, sqlast.OpNe}
+		return &sqlast.Binary{Op: ops[eg.Rnd.Intn(len(ops))], L: col, R: lit}
+	default:
+		cat := CategoryOfType(c.Column.TypeName)
+		if cat == CatBool {
+			// Bare boolean column or an IS TRUE test.
+			if eg.Rnd.Bool(0.5) {
+				return col
+			}
+			return &sqlast.Binary{Op: sqlast.OpIs, L: col, R: sqlast.Lit(sqlval.Bool(eg.Rnd.Bool(0.5)))}
+		}
+		ops := []sqlast.BinOp{sqlast.OpEq, sqlast.OpLt, sqlast.OpGt, sqlast.OpNe}
+		return &sqlast.Binary{Op: ops[eg.Rnd.Intn(len(ops))], L: col,
+			R: sqlast.Lit(eg.Rnd.ValueOfCategory(cat))}
+	}
+}
+
+// mutatedHint draws a literal near the stored data: a hint value verbatim,
+// or a case-toggled / trailing-space variant of a stored text (the NOCASE
+// and RTRIM bug triggers), or a fresh random value.
+func (eg *ExprGen) mutatedHint(c ColumnPick) sqlast.Expr {
+	if len(eg.Hints) > 0 && eg.Rnd.Bool(0.65) {
+		h := eg.Hints[eg.Rnd.Intn(len(eg.Hints))]
+		if h.Kind() == sqlval.KText && eg.Rnd.Bool(0.5) {
+			s := h.Str()
+			switch eg.Rnd.Intn(3) {
+			case 0: // toggle ASCII case
+				b := []byte(s)
+				for i, ch := range b {
+					switch {
+					case ch >= 'a' && ch <= 'z':
+						b[i] = ch - 32
+					case ch >= 'A' && ch <= 'Z':
+						b[i] = ch + 32
+					}
+				}
+				s = string(b)
+			case 1: // append trailing spaces
+				s += "  "
+			default: // trim trailing spaces
+				for len(s) > 0 && s[len(s)-1] == ' ' {
+					s = s[:len(s)-1]
+				}
+			}
+			return sqlast.Lit(sqlval.Text(s))
+		}
+		return sqlast.Lit(h)
+	}
+	return sqlast.Lit(eg.Rnd.Value())
+}
+
+// GenerateValueExpr produces an expression used in a result-column
+// position (the §3.4 "expressions on columns" extension).
+func (eg *ExprGen) GenerateValueExpr() sqlast.Expr {
+	if eg.Rnd.D == dialect.Postgres {
+		// Keep result expressions well-typed: a column or a typed literal.
+		if len(eg.Cols) > 0 && eg.Rnd.Bool(0.7) {
+			return eg.column()
+		}
+		return sqlast.Lit(eg.Rnd.Value())
+	}
+	return eg.genAny(eg.MaxDepth - 1) // shallow
+}
+
+func (eg *ExprGen) column() sqlast.Expr {
+	c := eg.Cols[eg.Rnd.Intn(len(eg.Cols))]
+	return sqlast.Col(c.Table, c.Column.Name)
+}
+
+func (eg *ExprGen) pick(c ColumnPick) sqlast.Expr {
+	return sqlast.Col(c.Table, c.Column.Name)
+}
+
+// literal draws a constant, biased toward hint values.
+func (eg *ExprGen) literal() sqlast.Expr {
+	if len(eg.Hints) > 0 && eg.Rnd.Bool(0.5) {
+		return sqlast.Lit(eg.Hints[eg.Rnd.Intn(len(eg.Hints))])
+	}
+	return sqlast.Lit(eg.Rnd.Value())
+}
+
+// genAny implements Algorithm 1 for the implicitly-converting dialects.
+func (eg *ExprGen) genAny(depth int) sqlast.Expr {
+	leafOnly := depth >= eg.MaxDepth
+	if leafOnly || eg.Rnd.Bool(0.28) {
+		if len(eg.Cols) > 0 && eg.Rnd.Bool(0.55) {
+			col := eg.Cols[eg.Rnd.Intn(len(eg.Cols))]
+			x := eg.pick(col)
+			// Occasionally attach a COLLATE (SQLite).
+			if eg.Rnd.D == dialect.SQLite && eg.Rnd.Bool(0.08) {
+				colls := []sqlval.Collation{sqlval.CollNoCase, sqlval.CollRTrim, sqlval.CollBinary}
+				return &sqlast.Collate{X: x, Coll: colls[eg.Rnd.Intn(len(colls))]}
+			}
+			return x
+		}
+		return eg.literal()
+	}
+	switch eg.Rnd.Intn(14) {
+	case 0:
+		return sqlast.Not(eg.genAny(depth + 1))
+	case 1:
+		ops := []sqlast.UnaryOp{sqlast.OpNeg, sqlast.OpPos, sqlast.OpBitNot}
+		return &sqlast.Unary{Op: ops[eg.Rnd.Intn(len(ops))], X: eg.genAny(depth + 1)}
+	case 2:
+		op := sqlast.OpIsNull
+		if eg.Rnd.Bool(0.5) {
+			op = sqlast.OpNotNull
+		}
+		return &sqlast.Unary{Op: op, X: eg.genAny(depth + 1)}
+	case 3, 4:
+		ops := []sqlast.BinOp{sqlast.OpAnd, sqlast.OpOr}
+		return &sqlast.Binary{Op: ops[eg.Rnd.Intn(2)], L: eg.genAny(depth + 1), R: eg.genAny(depth + 1)}
+	case 5, 6:
+		ops := []sqlast.BinOp{sqlast.OpEq, sqlast.OpNe, sqlast.OpLt, sqlast.OpLe, sqlast.OpGt, sqlast.OpGe}
+		return &sqlast.Binary{Op: ops[eg.Rnd.Intn(len(ops))], L: eg.genAny(depth + 1), R: eg.genAny(depth + 1)}
+	case 7:
+		// Dialect-specific null-safe comparisons: SQLite IS / IS NOT,
+		// MySQL <=> (Listings 1 and 12).
+		if eg.Rnd.D == dialect.SQLite {
+			op := sqlast.OpIs
+			if eg.Rnd.Bool(0.5) {
+				op = sqlast.OpIsNot
+			}
+			return &sqlast.Binary{Op: op, L: eg.genAny(depth + 1), R: eg.genAny(depth + 1)}
+		}
+		return &sqlast.Binary{Op: sqlast.OpNullSafeEq, L: eg.genAny(depth + 1), R: eg.genAny(depth + 1)}
+	case 8:
+		ops := []sqlast.BinOp{sqlast.OpAdd, sqlast.OpSub, sqlast.OpMul, sqlast.OpDiv, sqlast.OpMod}
+		return &sqlast.Binary{Op: ops[eg.Rnd.Intn(len(ops))], L: eg.genAny(depth + 1), R: eg.genAny(depth + 1)}
+	case 9:
+		op := sqlast.OpLike
+		if eg.Rnd.Bool(0.3) {
+			op = sqlast.OpNotLike
+		}
+		return &sqlast.Binary{Op: op, L: eg.genAny(depth + 1), R: eg.likePattern()}
+	case 10:
+		return &sqlast.Between{
+			Not: eg.Rnd.Bool(0.3),
+			X:   eg.genAny(depth + 1),
+			Lo:  eg.literal(),
+			Hi:  eg.literal(),
+		}
+	case 11:
+		n := 1 + eg.Rnd.Intn(3)
+		in := &sqlast.InList{Not: eg.Rnd.Bool(0.3), X: eg.genAny(depth + 1)}
+		for i := 0; i < n; i++ {
+			in.List = append(in.List, eg.literal())
+		}
+		return in
+	case 12:
+		return eg.cast(eg.genAny(depth + 1))
+	default:
+		return eg.funcCall(depth)
+	}
+}
+
+// likePattern draws a LIKE pattern, often an exact stored value (the
+// Listing 7 trigger) and often wildcarded.
+func (eg *ExprGen) likePattern() sqlast.Expr {
+	base := ""
+	if len(eg.Hints) > 0 && eg.Rnd.Bool(0.6) {
+		h := eg.Hints[eg.Rnd.Intn(len(eg.Hints))]
+		if h.Kind() == sqlval.KText {
+			base = h.Str()
+		}
+	}
+	if base == "" {
+		base = interestingTexts[eg.Rnd.Intn(len(interestingTexts))]
+	}
+	switch eg.Rnd.Intn(4) {
+	case 0:
+		return sqlast.Lit(sqlval.Text(base)) // exact match (no wildcards)
+	case 1:
+		return sqlast.Lit(sqlval.Text(base + "%"))
+	case 2:
+		return sqlast.Lit(sqlval.Text("%" + base))
+	default:
+		return sqlast.Lit(sqlval.Text("%" + base + "%"))
+	}
+}
+
+func (eg *ExprGen) cast(x sqlast.Expr) sqlast.Expr {
+	var types []string
+	switch eg.Rnd.D {
+	case dialect.MySQL:
+		types = []string{"UNSIGNED", "SIGNED", "CHAR"}
+	case dialect.Postgres:
+		types = []string{"INT", "TEXT", "REAL", "BOOLEAN"}
+	default:
+		types = []string{"INTEGER", "TEXT", "REAL", "BLOB", "NUMERIC"}
+	}
+	return &sqlast.Cast{X: x, TypeName: types[eg.Rnd.Intn(len(types))]}
+}
+
+func (eg *ExprGen) funcCall(depth int) sqlast.Expr {
+	switch eg.Rnd.Intn(6) {
+	case 0:
+		return &sqlast.FuncCall{Name: "ABS", Args: []sqlast.Expr{eg.genAny(depth + 1)}}
+	case 1:
+		return &sqlast.FuncCall{Name: "LENGTH", Args: []sqlast.Expr{eg.genAny(depth + 1)}}
+	case 2:
+		if eg.Rnd.D == dialect.MySQL {
+			return &sqlast.FuncCall{Name: "IFNULL", Args: []sqlast.Expr{eg.genAny(depth + 1), eg.genAny(depth + 1)}}
+		}
+		return &sqlast.FuncCall{Name: "IFNULL", Args: []sqlast.Expr{eg.genAny(depth + 1), eg.literal()}}
+	case 3:
+		return &sqlast.FuncCall{Name: "COALESCE", Args: []sqlast.Expr{eg.genAny(depth + 1), eg.literal()}}
+	case 4:
+		name := "LOWER"
+		if eg.Rnd.Bool(0.5) {
+			name = "UPPER"
+		}
+		return &sqlast.FuncCall{Name: name, Args: []sqlast.Expr{eg.genAny(depth + 1)}}
+	default:
+		return &sqlast.FuncCall{Name: "NULLIF", Args: []sqlast.Expr{eg.genAny(depth + 1), eg.literal()}}
+	}
+}
+
+// ---- strictly-typed generation (PostgreSQL profile) ----
+
+func (eg *ExprGen) colsOfCategory(cat Category) []ColumnPick {
+	var out []ColumnPick
+	for _, c := range eg.Cols {
+		if CategoryOfType(c.Column.TypeName) == cat {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// genBool generates a boolean-typed expression tree.
+func (eg *ExprGen) genBool(depth int) sqlast.Expr {
+	leafOnly := depth >= eg.MaxDepth
+	if leafOnly || eg.Rnd.Bool(0.2) {
+		if bools := eg.colsOfCategory(CatBool); len(bools) > 0 && eg.Rnd.Bool(0.5) {
+			return eg.pick(bools[eg.Rnd.Intn(len(bools))])
+		}
+		return sqlast.Lit(sqlval.Bool(eg.Rnd.Bool(0.5)))
+	}
+	switch eg.Rnd.Intn(9) {
+	case 0:
+		return sqlast.Not(eg.genBool(depth + 1))
+	case 1, 2:
+		ops := []sqlast.BinOp{sqlast.OpAnd, sqlast.OpOr}
+		return &sqlast.Binary{Op: ops[eg.Rnd.Intn(2)], L: eg.genBool(depth + 1), R: eg.genBool(depth + 1)}
+	case 3, 4, 5:
+		cat := eg.someCategory()
+		ops := []sqlast.BinOp{sqlast.OpEq, sqlast.OpNe, sqlast.OpLt, sqlast.OpLe, sqlast.OpGt, sqlast.OpGe}
+		return &sqlast.Binary{
+			Op: ops[eg.Rnd.Intn(len(ops))],
+			L:  eg.genTyped(cat, depth+1),
+			R:  eg.genTyped(cat, depth+1),
+		}
+	case 6:
+		op := sqlast.OpIsNull
+		if eg.Rnd.Bool(0.5) {
+			op = sqlast.OpNotNull
+		}
+		return &sqlast.Unary{Op: op, X: eg.genTyped(eg.someCategory(), depth+1)}
+	case 7:
+		// x IS TRUE / IS NOT FALSE — boolean identity tests.
+		op := sqlast.OpIs
+		if eg.Rnd.Bool(0.5) {
+			op = sqlast.OpIsNot
+		}
+		return &sqlast.Binary{Op: op, L: eg.genBool(depth + 1), R: sqlast.Lit(sqlval.Bool(eg.Rnd.Bool(0.5)))}
+	default:
+		cat := eg.someCategory()
+		return &sqlast.Between{
+			Not: eg.Rnd.Bool(0.3),
+			X:   eg.genTyped(cat, depth+1),
+			Lo:  sqlast.Lit(eg.Rnd.ValueOfCategory(cat)),
+			Hi:  sqlast.Lit(eg.Rnd.ValueOfCategory(cat)),
+		}
+	}
+}
+
+func (eg *ExprGen) someCategory() Category {
+	cats := []Category{CatInt, CatText, CatBool, CatReal}
+	// Prefer categories that actually have columns.
+	for tries := 0; tries < 3; tries++ {
+		cat := cats[eg.Rnd.Intn(len(cats))]
+		if len(eg.colsOfCategory(cat)) > 0 {
+			return cat
+		}
+	}
+	return cats[eg.Rnd.Intn(len(cats))]
+}
+
+// genTyped generates an expression of a specific category. Arithmetic is
+// deliberately excluded for Postgres filters: division by zero and integer
+// overflow raise runtime errors there, which would contaminate the
+// containment oracle (the error oracle covers them via other statements).
+func (eg *ExprGen) genTyped(cat Category, depth int) sqlast.Expr {
+	if cat == CatBool {
+		return eg.genBool(depth)
+	}
+	cols := eg.colsOfCategory(cat)
+	if len(cols) > 0 && eg.Rnd.Bool(0.55) {
+		return eg.pick(cols[eg.Rnd.Intn(len(cols))])
+	}
+	if len(eg.Hints) > 0 && eg.Rnd.Bool(0.4) {
+		h := eg.Hints[eg.Rnd.Intn(len(eg.Hints))]
+		if matchesCategory(h, cat) {
+			return sqlast.Lit(h)
+		}
+	}
+	return sqlast.Lit(eg.Rnd.ValueOfCategory(cat))
+}
+
+func matchesCategory(v sqlval.Value, cat Category) bool {
+	switch cat {
+	case CatInt:
+		return v.Kind() == sqlval.KInt || v.IsNull()
+	case CatReal:
+		return v.Kind() == sqlval.KReal || v.IsNull()
+	case CatText:
+		return v.Kind() == sqlval.KText || v.IsNull()
+	case CatBool:
+		return v.Kind() == sqlval.KBool || v.IsNull()
+	default:
+		return true
+	}
+}

@@ -1,0 +1,188 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/engine"
+	"repro/internal/interp"
+	"repro/internal/oracle"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/sqlval"
+)
+
+func testCols() []ColumnPick {
+	return []ColumnPick{
+		{Table: "t0", Column: schema.ColumnInfo{Name: "c0", TypeName: "INT"}},
+		{Table: "t0", Column: schema.ColumnInfo{Name: "c1", TypeName: "TEXT"}},
+		{Table: "t0", Column: schema.ColumnInfo{Name: "c2", TypeName: "BOOLEAN"}},
+	}
+}
+
+func TestExprGenDeterministic(t *testing.T) {
+	mk := func() []string {
+		eg := &ExprGen{Rnd: NewRand(dialect.SQLite, 9), Cols: testCols(), MaxDepth: 3}
+		var out []string
+		for i := 0; i < 50; i++ {
+			out = append(out, sqlast.ExprSQL(eg.Generate(), dialect.SQLite))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation not deterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestExprGenDepthBound(t *testing.T) {
+	for _, d := range dialect.All {
+		eg := &ExprGen{Rnd: NewRand(d, 3), Cols: testCols(), MaxDepth: 3}
+		for i := 0; i < 300; i++ {
+			e := eg.Generate()
+			// Depth counts nodes; MaxDepth bounds recursion depth, and a
+			// few constructs (BETWEEN bounds, IN lists) add one leaf
+			// level beyond it.
+			if got := sqlast.Depth(e); got > eg.MaxDepth+2 {
+				t.Fatalf("[%s] depth %d exceeds bound: %s", d, got, sqlast.ExprSQL(e, d))
+			}
+		}
+	}
+}
+
+// Postgres-profile expressions must be boolean-typed: the interpreter
+// evaluates every generated condition without type errors on a typed pivot.
+func TestExprGenPostgresWellTyped(t *testing.T) {
+	eg := &ExprGen{Rnd: NewRand(dialect.Postgres, 5), Cols: testCols(), MaxDepth: 3}
+	ctx := interp.NewContext(dialect.Postgres)
+	ctx.Bind("t0", "c0", interp.ColInfo{Val: sqlval.Int(1)})
+	ctx.Bind("t0", "c1", interp.ColInfo{Val: sqlval.Text("a")})
+	ctx.Bind("t0", "c2", interp.ColInfo{Val: sqlval.Bool(true)})
+	typeErrors := 0
+	for i := 0; i < 1000; i++ {
+		e := eg.Generate()
+		if _, err := interp.EvalBool(e, ctx); err != nil {
+			if _, ok := err.(*interp.TypeError); ok {
+				typeErrors++
+				continue
+			}
+			t.Fatalf("unexpected error: %v on %s", err, sqlast.ExprSQL(e, dialect.Postgres))
+		}
+	}
+	if typeErrors != 0 {
+		t.Errorf("typed generation produced %d/1000 type errors", typeErrors)
+	}
+}
+
+func TestValueOfCategory(t *testing.T) {
+	rnd := NewRand(dialect.Postgres, 1)
+	for i := 0; i < 200; i++ {
+		if v := rnd.ValueOfCategory(CatInt); !v.IsNull() && v.Kind() != sqlval.KInt {
+			t.Fatalf("CatInt produced %v", v.Kind())
+		}
+		if v := rnd.ValueOfCategory(CatBool); !v.IsNull() && v.Kind() != sqlval.KBool {
+			t.Fatalf("CatBool produced %v", v.Kind())
+		}
+		if v := rnd.ValueOfCategory(CatText); !v.IsNull() && v.Kind() != sqlval.KText {
+			t.Fatalf("CatText produced %v", v.Kind())
+		}
+	}
+}
+
+func TestCategoryOfType(t *testing.T) {
+	cases := map[string]Category{
+		"INT":     CatInt,
+		"TINYINT": CatInt,
+		"serial":  CatInt,
+		"TEXT":    CatText,
+		"REAL":    CatReal,
+		"BOOLEAN": CatBool,
+		"":        CatAny,
+	}
+	for tn, want := range cases {
+		if got := CategoryOfType(tn); got != want {
+			t.Errorf("CategoryOfType(%q) = %v, want %v", tn, got, want)
+		}
+	}
+}
+
+// The state generator's statements must overwhelmingly be executable: no
+// syntax errors, almost no artifacts (missing objects etc.).
+func TestStateGenProducesValidSQL(t *testing.T) {
+	for _, d := range dialect.All {
+		total, artifacts := 0, 0
+		for seed := int64(0); seed < 30; seed++ {
+			e := engine.Open(d)
+			sg := &StateGen{Rnd: NewRand(d, seed), E: e}
+			err := sg.BuildDatabase(func(st sqlast.Stmt) error {
+				total++
+				_, execErr := e.Exec(sqlast.SQL(st, d))
+				switch oracle.Classify(st, execErr, d) {
+				case oracle.VerdictArtifact:
+					artifacts++
+				case oracle.VerdictBug, oracle.VerdictCrash:
+					t.Fatalf("[%s] clean engine flagged a bug on %s: %v", d, sqlast.SQL(st, d), execErr)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if artifacts*20 > total {
+			t.Errorf("[%s] %d/%d statements were generator artifacts (>5%%)", d, artifacts, total)
+		}
+	}
+}
+
+// Tables end up populated, and hints accumulate inserted values.
+func TestStateGenPopulates(t *testing.T) {
+	e := engine.Open(dialect.SQLite)
+	sg := &StateGen{Rnd: NewRand(dialect.SQLite, 4), E: e, MinRows: 2, MaxRows: 5}
+	err := sg.BuildDatabase(func(st sqlast.Stmt) error {
+		_, _ = e.Exec(sqlast.SQL(st, dialect.SQLite))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Tables()) == 0 {
+		t.Fatal("no tables created")
+	}
+	for _, tn := range e.Tables() {
+		if e.RowCount(tn) == 0 {
+			t.Errorf("table %s left empty", tn)
+		}
+	}
+	if len(sg.Hints) == 0 {
+		t.Error("no hints accumulated")
+	}
+}
+
+func TestMutatedHintVariants(t *testing.T) {
+	eg := &ExprGen{
+		Rnd:   NewRand(dialect.SQLite, 8),
+		Cols:  testCols(),
+		Hints: []sqlval.Value{sqlval.Text("aBc"), sqlval.Text("x  ")},
+	}
+	sawCaseToggle, sawSpace := false, false
+	for i := 0; i < 500; i++ {
+		e := eg.mutatedHint(eg.Cols[0])
+		lit, ok := e.(*sqlast.Literal)
+		if !ok || lit.Val.Kind() != sqlval.KText {
+			continue
+		}
+		s := lit.Val.Str()
+		if s == "AbC" {
+			sawCaseToggle = true
+		}
+		if s == "aBc  " || s == "x" {
+			sawSpace = true
+		}
+	}
+	if !sawCaseToggle || !sawSpace {
+		t.Errorf("hint mutation variants missing: case=%v space=%v", sawCaseToggle, sawSpace)
+	}
+}

@@ -1,0 +1,478 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/dialect"
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/sqlval"
+)
+
+// StateGen generates random database state (step 1 of Figure 1): tables,
+// rows, indexes, views, options, and maintenance statements. Statements
+// are handed to an apply callback one at a time; the caller executes them
+// and runs the error oracle. The generator re-introspects the engine after
+// DDL rather than tracking state itself (§3.4 of the paper).
+type StateGen struct {
+	Rnd *Rand
+	E   *engine.Engine
+	// MinRows/MaxRows bound the per-table row count (paper: 10–30 rows;
+	// campaigns default lower for throughput, the ablation bench sweeps it).
+	MinRows, MaxRows int
+	// MaxTables bounds the table count per database.
+	MaxTables int
+	// Hints accumulates inserted values for constant-biasing.
+	Hints []sqlval.Value
+
+	tableSeq int
+	indexSeq int
+	viewSeq  int
+	statSeq  int
+}
+
+// Apply executes one generated statement. It returns a non-nil error only
+// to abort generation (an oracle detection); expected statement errors are
+// swallowed by the callback.
+type Apply func(sqlast.Stmt) error
+
+// BuildDatabase generates and applies a full random database.
+func (sg *StateGen) BuildDatabase(apply Apply) error {
+	if sg.MaxTables <= 0 {
+		sg.MaxTables = 3
+	}
+	if sg.MaxRows <= 0 {
+		sg.MaxRows = 8
+	}
+	if sg.MinRows <= 0 {
+		sg.MinRows = 1
+	}
+	nTables := 1 + sg.Rnd.Intn(sg.MaxTables)
+	for i := 0; i < nTables; i++ {
+		if err := sg.createTableWithRows(apply); err != nil {
+			return err
+		}
+	}
+	// Extra statements exploring a larger space of databases.
+	extras := 2 + sg.Rnd.Intn(8)
+	for i := 0; i < extras; i++ {
+		if err := sg.randomExtra(apply); err != nil {
+			return err
+		}
+	}
+	// Every table must hold at least one row (§3.1). Retries are bounded:
+	// a table whose inserts keep failing (e.g. a strict-typing dead end)
+	// is left empty and simply never becomes a pivot source.
+	for _, tn := range sg.E.Tables() {
+		for attempt := 0; attempt < 10 && sg.E.RowCount(tn) == 0; attempt++ {
+			if err := sg.insertInto(apply, tn, 1+sg.Rnd.Intn(2)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func intColumns(info schema.TableInfo) []string {
+	var out []string
+	for _, c := range info.Columns {
+		if CategoryOfType(c.TypeName) == CatInt {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+func (sg *StateGen) createTableWithRows(apply Apply) error {
+	name := fmt.Sprintf("t%d", sg.tableSeq)
+	sg.tableSeq++
+	ct := sg.genCreateTable(name)
+	if err := apply(ct); err != nil {
+		return err
+	}
+	if _, err := sg.E.Describe(name); err != nil {
+		return nil // creation failed with an expected error; skip rows
+	}
+	rows := sg.MinRows + sg.Rnd.Intn(sg.MaxRows-sg.MinRows+1)
+	return sg.insertInto(apply, name, rows)
+}
+
+func (sg *StateGen) genCreateTable(name string) *sqlast.CreateTable {
+	ct := &sqlast.CreateTable{Name: name}
+	d := sg.Rnd.D
+	nCols := 1 + sg.Rnd.Intn(4)
+	pkUsed := false
+	for i := 0; i < nCols; i++ {
+		cd := sqlast.ColumnDef{Name: fmt.Sprintf("c%d", i)}
+		switch d {
+		case dialect.SQLite:
+			types := []string{"", "", "INT", "TEXT", "REAL", "BLOB", "NUMERIC"}
+			cd.TypeName = types[sg.Rnd.Intn(len(types))]
+			if sg.Rnd.Bool(0.18) {
+				colls := []string{"NOCASE", "RTRIM", "BINARY"}
+				cd.Collate = colls[sg.Rnd.Intn(len(colls))]
+			}
+		case dialect.MySQL:
+			types := []string{"INT", "TINYINT", "TEXT", "REAL", "BIGINT"}
+			cd.TypeName = types[sg.Rnd.Intn(len(types))]
+			if (cd.TypeName == "INT" || cd.TypeName == "BIGINT" || cd.TypeName == "TINYINT") && sg.Rnd.Bool(0.25) {
+				cd.Unsigned = true
+			}
+		default:
+			types := []string{"INT", "TEXT", "REAL", "BOOLEAN", "serial"}
+			cd.TypeName = types[sg.Rnd.Intn(len(types))]
+		}
+		if !pkUsed && sg.Rnd.Bool(0.2) {
+			cd.PrimaryKey = true
+			pkUsed = true
+		} else {
+			if sg.Rnd.Bool(0.15) {
+				cd.Unique = true
+			}
+			if sg.Rnd.Bool(0.08) {
+				cd.NotNull = true
+			}
+		}
+		ct.Columns = append(ct.Columns, cd)
+	}
+	switch d {
+	case dialect.SQLite:
+		if !pkUsed && len(ct.Columns) >= 2 && sg.Rnd.Bool(0.15) {
+			ct.PrimaryKey = []string{ct.Columns[0].Name, ct.Columns[1].Name}
+			pkUsed = true
+		}
+		if pkUsed && sg.Rnd.Bool(0.35) {
+			ct.WithoutRowid = true
+		}
+	case dialect.MySQL:
+		if sg.Rnd.Bool(0.3) {
+			engines := []string{"MEMORY", "MYISAM", "INNODB"}
+			ct.Engine = engines[sg.Rnd.Intn(len(engines))]
+		}
+	default:
+		if tables := sg.E.Tables(); len(tables) > 0 && sg.Rnd.Bool(0.3) {
+			ct.Inherits = tables[sg.Rnd.Intn(len(tables))]
+		}
+	}
+	return ct
+}
+
+func (sg *StateGen) insertInto(apply Apply, table string, rows int) error {
+	info, err := sg.E.Describe(table)
+	if err != nil || info.IsView {
+		return nil
+	}
+	ins := &sqlast.Insert{Table: table}
+	// Usually name a random subset of columns (paper listings often
+	// insert into a subset).
+	var cols []schema.ColumnInfo
+	if sg.Rnd.Bool(0.75) {
+		for _, c := range info.Columns {
+			if sg.Rnd.Bool(0.75) {
+				cols = append(cols, c)
+				ins.Columns = append(ins.Columns, c.Name)
+			}
+		}
+	}
+	if len(cols) == 0 {
+		cols = info.Columns
+		ins.Columns = nil
+	}
+	for r := 0; r < rows; r++ {
+		var row []sqlast.Expr
+		for _, c := range cols {
+			var v sqlval.Value
+			if sg.Rnd.D == dialect.Postgres {
+				v = sg.Rnd.ValueOfCategory(CategoryOfType(c.TypeName))
+			} else {
+				v = sg.Rnd.Value()
+			}
+			sg.Hints = append(sg.Hints, v)
+			row = append(row, sqlast.Lit(v))
+		}
+		ins.Rows = append(ins.Rows, row)
+	}
+	switch {
+	case sg.Rnd.Bool(0.2):
+		ins.Conflict = sqlast.ConflictIgnore
+	case sg.Rnd.D != dialect.Postgres && sg.Rnd.Bool(0.12):
+		ins.Conflict = sqlast.ConflictReplace
+	}
+	return apply(ins)
+}
+
+// randomExtra emits one exploratory statement.
+func (sg *StateGen) randomExtra(apply Apply) error {
+	tables := sg.E.Tables()
+	if len(tables) == 0 {
+		return nil
+	}
+	table := tables[sg.Rnd.Intn(len(tables))]
+	d := sg.Rnd.D
+	switch sg.Rnd.Intn(12) {
+	case 0, 1, 2:
+		return apply(sg.genCreateIndex(table))
+	case 3:
+		return sg.insertInto(apply, table, 1+sg.Rnd.Intn(3))
+	case 4:
+		return sg.genUpdate(apply, table)
+	case 5:
+		if sg.Rnd.Bool(0.4) {
+			return sg.genDelete(apply, table)
+		}
+		return nil
+	case 6:
+		return apply(&sqlast.Maintenance{Op: sqlast.MaintAnalyze, Table: maybeTable(sg.Rnd, table)})
+	case 7:
+		switch d {
+		case dialect.SQLite:
+			if sg.Rnd.Bool(0.5) {
+				return apply(&sqlast.Maintenance{Op: sqlast.MaintReindex, Table: maybeTable(sg.Rnd, table)})
+			}
+			return apply(&sqlast.Maintenance{Op: sqlast.MaintVacuum})
+		case dialect.MySQL:
+			ops := []sqlast.MaintKind{sqlast.MaintRepairTable, sqlast.MaintCheckTable, sqlast.MaintCheckTableForUpgrade}
+			return apply(&sqlast.Maintenance{Op: ops[sg.Rnd.Intn(len(ops))], Table: table})
+		default:
+			if sg.Rnd.Bool(0.5) {
+				return apply(&sqlast.Maintenance{Op: sqlast.MaintVacuumFull})
+			}
+			return apply(&sqlast.Maintenance{Op: sqlast.MaintDiscard})
+		}
+	case 8:
+		return sg.genOption(apply)
+	case 9:
+		return sg.genAlter(apply, table)
+	case 10:
+		if d == dialect.Postgres {
+			return sg.genStats(apply, table)
+		}
+		if d == dialect.SQLite && sg.Rnd.Bool(0.4) {
+			return sg.genView(apply, table)
+		}
+		return nil
+	default:
+		return apply(sg.genCreateIndex(table))
+	}
+}
+
+func maybeTable(rnd *Rand, table string) string {
+	if rnd.Bool(0.6) {
+		return table
+	}
+	return ""
+}
+
+func (sg *StateGen) genCreateIndex(table string) *sqlast.CreateIndex {
+	info, err := sg.E.Describe(table)
+	ci := &sqlast.CreateIndex{
+		Name:        fmt.Sprintf("i%d", sg.indexSeq),
+		Table:       table,
+		Unique:      sg.Rnd.Bool(0.22),
+		IfNotExists: true,
+	}
+	sg.indexSeq++
+	if err != nil || len(info.Columns) == 0 {
+		return ci
+	}
+	nParts := 1
+	if sg.Rnd.Bool(0.3) {
+		nParts = 2
+	}
+	for p := 0; p < nParts; p++ {
+		col := info.Columns[sg.Rnd.Intn(len(info.Columns))]
+		var part sqlast.IndexedExpr
+		switch {
+		case sg.Rnd.Bool(0.6): // bare column
+			part.X = sqlast.Col("", col.Name)
+		case sg.Rnd.D == dialect.SQLite && sg.Rnd.Bool(0.4):
+			// Listing 1 (literal part) / Listing 8 (double-quoted string)
+			// / Listing 9 (LIKE expression) shapes.
+			switch sg.Rnd.Intn(3) {
+			case 0:
+				part.X = sqlast.Lit(sqlval.Int(1))
+			case 1:
+				part.X = &sqlast.ColumnRef{Column: "C3", MaybeString: true}
+			default:
+				part.X = &sqlast.Binary{Op: sqlast.OpLike, L: sqlast.Col("", col.Name), R: sqlast.Lit(sqlval.Text(""))}
+			}
+		default: // expression part (typed for the strict Postgres profile)
+			switch {
+			case sg.Rnd.D == dialect.Postgres && sg.Rnd.Bool(0.3):
+				part.X = &sqlast.Cast{X: sqlast.Col("", col.Name), TypeName: "TEXT"}
+			case sg.Rnd.D == dialect.Postgres:
+				// Boolean AND-expression (the Listing 16 shape) only
+				// over boolean columns; integer arithmetic only over
+				// integer columns; otherwise fall back to a bare column.
+				if bools := boolColumns(info); len(bools) > 0 && sg.Rnd.Bool(0.5) {
+					bc := bools[sg.Rnd.Intn(len(bools))]
+					part.X = &sqlast.Binary{Op: sqlast.OpAnd,
+						L: sqlast.Col(table, bc), R: sqlast.Col(table, bc)}
+				} else if ints := intColumns(info); len(ints) > 0 {
+					part.X = &sqlast.Binary{Op: sqlast.OpAdd,
+						L: sqlast.Lit(sqlval.Int(1)), R: sqlast.Col(table, ints[sg.Rnd.Intn(len(ints))])}
+				} else {
+					part.X = sqlast.Col("", col.Name)
+				}
+			default:
+				part.X = &sqlast.Binary{Op: sqlast.OpAdd,
+					L: sqlast.Lit(sqlval.Int(1)), R: sqlast.Col(table, col.Name)}
+			}
+		}
+		if sg.Rnd.D == dialect.SQLite && sg.Rnd.Bool(0.3) {
+			colls := []string{"NOCASE", "RTRIM", "BINARY"}
+			part.Collate = colls[sg.Rnd.Intn(len(colls))]
+		}
+		part.Desc = sg.Rnd.Bool(0.15)
+		ci.Parts = append(ci.Parts, part)
+	}
+	// Partial index predicates — `c NOT NULL` is the Listing 1 shape.
+	if sg.Rnd.D == dialect.SQLite && sg.Rnd.Bool(0.3) {
+		col := info.Columns[sg.Rnd.Intn(len(info.Columns))]
+		if sg.Rnd.Bool(0.7) {
+			ci.Where = &sqlast.Unary{Op: sqlast.OpNotNull, X: sqlast.Col("", col.Name)}
+		} else {
+			ci.Where = &sqlast.Binary{Op: sqlast.OpGt, L: sqlast.Col("", col.Name), R: sqlast.Lit(sqlval.Int(0))}
+		}
+	}
+	if sg.Rnd.D == dialect.Postgres && sg.Rnd.Bool(0.2) {
+		bools := boolColumns(info)
+		if len(bools) > 0 {
+			ci.Where = sqlast.Col("", bools[sg.Rnd.Intn(len(bools))])
+		}
+	}
+	return ci
+}
+
+func boolColumns(info schema.TableInfo) []string {
+	var out []string
+	for _, c := range info.Columns {
+		if CategoryOfType(c.TypeName) == CatBool {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+func (sg *StateGen) genUpdate(apply Apply, table string) error {
+	info, err := sg.E.Describe(table)
+	if err != nil || len(info.Columns) == 0 {
+		return nil
+	}
+	up := &sqlast.Update{Table: table}
+	col := info.Columns[sg.Rnd.Intn(len(info.Columns))]
+	var v sqlval.Value
+	if sg.Rnd.D == dialect.Postgres {
+		v = sg.Rnd.ValueOfCategory(CategoryOfType(col.TypeName))
+	} else {
+		v = sg.Rnd.Value()
+	}
+	sg.Hints = append(sg.Hints, v)
+	up.Sets = []sqlast.Assignment{{Column: col.Name, Value: sqlast.Lit(v)}}
+	if sg.Rnd.Bool(0.4) {
+		wcol := info.Columns[sg.Rnd.Intn(len(info.Columns))]
+		if sg.Rnd.D == dialect.Postgres {
+			up.Where = &sqlast.Unary{Op: sqlast.OpNotNull, X: sqlast.Col("", wcol.Name)}
+		} else {
+			up.Where = &sqlast.Binary{Op: sqlast.OpEq, L: sqlast.Col("", wcol.Name), R: sqlast.Lit(sg.Rnd.Value())}
+		}
+	}
+	if sg.Rnd.D == dialect.SQLite && sg.Rnd.Bool(0.25) {
+		up.Conflict = sqlast.ConflictReplace
+	}
+	return apply(up)
+}
+
+func (sg *StateGen) genDelete(apply Apply, table string) error {
+	info, err := sg.E.Describe(table)
+	if err != nil || len(info.Columns) == 0 {
+		return nil
+	}
+	col := info.Columns[sg.Rnd.Intn(len(info.Columns))]
+	del := &sqlast.Delete{
+		Table: table,
+		Where: &sqlast.Unary{Op: sqlast.OpIsNull, X: sqlast.Col("", col.Name)},
+	}
+	return apply(del)
+}
+
+func (sg *StateGen) genAlter(apply Apply, table string) error {
+	info, err := sg.E.Describe(table)
+	if err != nil || len(info.Columns) == 0 {
+		return nil
+	}
+	switch sg.Rnd.Intn(3) {
+	case 0: // rename column — "c3" is the Listing 8 coincidence target
+		old := info.Columns[sg.Rnd.Intn(len(info.Columns))].Name
+		newName := fmt.Sprintf("r%d", sg.Rnd.Intn(100))
+		if sg.Rnd.Bool(0.5) {
+			newName = "c3"
+		}
+		return apply(&sqlast.AlterTable{Table: table, Action: sqlast.AlterRenameColumn, OldName: old, NewName: newName})
+	case 1: // add column
+		cd := sqlast.ColumnDef{Name: fmt.Sprintf("a%d", sg.Rnd.Intn(100)), TypeName: "INT"}
+		if sg.Rnd.D == dialect.SQLite {
+			cd.TypeName = ""
+		}
+		return apply(&sqlast.AlterTable{Table: table, Action: sqlast.AlterAddColumn, Column: cd})
+	default:
+		return nil // rename table disturbs too much downstream generation
+	}
+}
+
+func (sg *StateGen) genStats(apply Apply, table string) error {
+	info, err := sg.E.Describe(table)
+	if err != nil || len(info.Columns) == 0 {
+		return nil
+	}
+	cs := &sqlast.CreateStats{Name: fmt.Sprintf("s%d", sg.statSeq), Table: table}
+	sg.statSeq++
+	for _, c := range info.Columns {
+		if sg.Rnd.Bool(0.6) {
+			cs.Columns = append(cs.Columns, c.Name)
+		}
+	}
+	if len(cs.Columns) == 0 {
+		cs.Columns = []string{info.Columns[0].Name}
+	}
+	return apply(cs)
+}
+
+func (sg *StateGen) genView(apply Apply, table string) error {
+	info, err := sg.E.Describe(table)
+	if err != nil || len(info.Columns) == 0 {
+		return nil
+	}
+	cv := &sqlast.CreateView{
+		Name: fmt.Sprintf("v%d", sg.viewSeq),
+		Select: &sqlast.Select{
+			Cols: []sqlast.ResultCol{{X: sqlast.Col("", info.Columns[0].Name)}},
+			From: []sqlast.TableRef{{Name: table}},
+		},
+	}
+	sg.viewSeq++
+	return apply(cv)
+}
+
+func (sg *StateGen) genOption(apply Apply) error {
+	switch sg.Rnd.D {
+	case dialect.SQLite:
+		return apply(&sqlast.SetOption{
+			Name:  "case_sensitive_like",
+			Value: sqlast.Lit(sqlval.Int(int64(sg.Rnd.Intn(2)))),
+		})
+	case dialect.MySQL:
+		vals := []int64{100, 42, 200, 7, 1000}
+		return apply(&sqlast.SetOption{
+			Global: true,
+			Name:   "key_cache_division_limit",
+			Value:  sqlast.Lit(sqlval.Int(vals[sg.Rnd.Intn(len(vals))])),
+		})
+	default:
+		return apply(&sqlast.SetOption{
+			Name:  "enable_seqscan",
+			Value: sqlast.Lit(sqlval.Bool(sg.Rnd.Bool(0.5))),
+		})
+	}
+}

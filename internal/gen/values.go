@@ -1,0 +1,144 @@
+// Package gen implements PQS's random generation: database state (step 1
+// of Figure 1) and expression trees (Algorithm 1). Generation is
+// schema-aware — it introspects the engine dynamically, the way SQLancer
+// queries sqlite_master / information_schema rather than tracking state.
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/dialect"
+	"repro/internal/sqlval"
+)
+
+// Rand wraps the random source with the value palette used throughout
+// generation. Constants are biased toward the boundary values the paper's
+// bugs lived at (0, ±1, type limits, trailing-space strings, './').
+type Rand struct {
+	R *rand.Rand
+	D dialect.Dialect
+}
+
+// NewRand returns a deterministic generator for a seed.
+func NewRand(d dialect.Dialect, seed int64) *Rand {
+	return &Rand{R: rand.New(rand.NewSource(seed)), D: d}
+}
+
+// Intn forwards to the source.
+func (g *Rand) Intn(n int) int { return g.R.Intn(n) }
+
+// Bool flips a coin with probability p of true.
+func (g *Rand) Bool(p float64) bool { return g.R.Float64() < p }
+
+var interestingInts = []int64{
+	0, 1, -1, 2, 3, -5, 10, 100, 117, 127, -128, 128, 255,
+	2035382037, 2147483647, -2147483648, 9223372036854775807,
+	-9223372036854775808, -2851427734582196970,
+}
+
+var interestingReals = []float64{
+	0, 0.5, -0.5, 1.5, -1.5, 2.5, 1e10, -1e10, 9.22e18,
+}
+
+var interestingTexts = []string{
+	"", "a", "A", "b", "B", " ", "      ", "./", "0.5", "12abc",
+	"x y", "abc", "u", "-1", "3", "baaaaaaaaaaaaaaaaa",
+}
+
+// Value draws a random literal value appropriate for the dialect.
+func (g *Rand) Value() sqlval.Value {
+	switch g.Intn(10) {
+	case 0, 1:
+		return sqlval.Null()
+	case 2, 3, 4:
+		return sqlval.Int(interestingInts[g.Intn(len(interestingInts))])
+	case 5:
+		return sqlval.Real(interestingReals[g.Intn(len(interestingReals))])
+	case 6, 7, 8:
+		return sqlval.Text(interestingTexts[g.Intn(len(interestingTexts))])
+	default:
+		if g.D == dialect.SQLite && g.Bool(0.5) {
+			return sqlval.Blob([]byte(interestingTexts[g.Intn(len(interestingTexts))]))
+		}
+		if g.D == dialect.Postgres {
+			return sqlval.Bool(g.Bool(0.5))
+		}
+		return sqlval.Int(int64(g.Intn(2)))
+	}
+}
+
+// ValueOfCategory draws a literal of a specific type category, used for
+// the strictly-typed PostgreSQL profile.
+func (g *Rand) ValueOfCategory(cat Category) sqlval.Value {
+	if g.Bool(0.15) {
+		return sqlval.Null()
+	}
+	switch cat {
+	case CatInt:
+		return sqlval.Int(interestingInts[g.Intn(len(interestingInts))])
+	case CatReal:
+		return sqlval.Real(interestingReals[g.Intn(len(interestingReals))])
+	case CatText:
+		return sqlval.Text(interestingTexts[g.Intn(len(interestingTexts))])
+	case CatBool:
+		return sqlval.Bool(g.Bool(0.5))
+	default:
+		return g.Value()
+	}
+}
+
+// Category is the coarse type category used for typed generation.
+type Category uint8
+
+// Type categories.
+const (
+	CatAny Category = iota
+	CatInt
+	CatReal
+	CatText
+	CatBool
+)
+
+// CategoryOfType maps a declared type name onto a category.
+func CategoryOfType(typeName string) Category {
+	switch sqlval.AffinityOf(typeName) {
+	case sqlval.AffInteger:
+		return CatInt
+	case sqlval.AffReal:
+		return CatReal
+	case sqlval.AffText:
+		return CatText
+	default:
+		if containsFold(typeName, "BOOL") {
+			return CatBool
+		}
+		if containsFold(typeName, "SERIAL") {
+			return CatInt
+		}
+		return CatAny
+	}
+}
+
+func containsFold(s, sub string) bool {
+	n, m := len(s), len(sub)
+	for i := 0; i+m <= n; i++ {
+		ok := true
+		for j := 0; j < m; j++ {
+			a, b := s[i+j], sub[j]
+			if a >= 'a' && a <= 'z' {
+				a -= 32
+			}
+			if b >= 'a' && b <= 'z' {
+				b -= 32
+			}
+			if a != b {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

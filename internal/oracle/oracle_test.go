@@ -1,0 +1,112 @@
+package oracle
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/faults"
+	"repro/internal/sqlast"
+	"repro/internal/sqlval"
+	"repro/internal/xerr"
+)
+
+func TestClassifyBasic(t *testing.T) {
+	ins := &sqlast.Insert{Table: "t0"}
+	if v := Classify(ins, nil, dialect.SQLite); v != VerdictOK {
+		t.Errorf("nil error: %v", v)
+	}
+	// Expected statement errors are ignored (§3.3).
+	if v := Classify(ins, xerr.New(xerr.CodeUnique, "dup"), dialect.SQLite); v != VerdictExpected {
+		t.Errorf("unique on insert: %v", v)
+	}
+	if v := Classify(ins, xerr.New(xerr.CodeNotNull, "null"), dialect.MySQL); v != VerdictExpected {
+		t.Errorf("notnull on insert: %v", v)
+	}
+	// Corruption and internal errors are never expected.
+	if v := Classify(ins, xerr.New(xerr.CodeCorrupt, "malformed"), dialect.SQLite); v != VerdictBug {
+		t.Errorf("corrupt: %v", v)
+	}
+	sel := &sqlast.Select{}
+	if v := Classify(sel, xerr.New(xerr.CodeInternal, "bitmapset"), dialect.Postgres); v != VerdictBug {
+		t.Errorf("internal: %v", v)
+	}
+	// Crashes go to the crash oracle.
+	if v := Classify(sel, xerr.New(xerr.CodeCrash, "SIGSEGV"), dialect.MySQL); v != VerdictCrash {
+		t.Errorf("crash: %v", v)
+	}
+	// Generator artifacts are neither bugs nor expected.
+	if v := Classify(sel, xerr.New(xerr.CodeNoObject, "no such table"), dialect.SQLite); v != VerdictArtifact {
+		t.Errorf("artifact: %v", v)
+	}
+	// Foreign errors escaping the engine are bugs.
+	if v := Classify(sel, errors.New("panic elsewhere"), dialect.SQLite); v != VerdictBug {
+		t.Errorf("foreign: %v", v)
+	}
+}
+
+func TestClassifyMaintenanceStrict(t *testing.T) {
+	// The paper's key error-oracle insight: maintenance statements have
+	// no expected errors at all.
+	m := &sqlast.Maintenance{Op: sqlast.MaintReindex}
+	if v := Classify(m, xerr.New(xerr.CodeUnique, "UNIQUE constraint failed"), dialect.SQLite); v != VerdictBug {
+		t.Errorf("REINDEX unique error must be a bug: %v", v)
+	}
+	v2 := Classify(&sqlast.Maintenance{Op: sqlast.MaintVacuumFull},
+		xerr.New(xerr.CodeRange, "integer out of range"), dialect.Postgres)
+	if v2 != VerdictBug {
+		t.Errorf("VACUUM FULL range error must be a bug (Listing 18): %v", v2)
+	}
+	// SET with valid values never errors legitimately (Listing 3).
+	if v := Classify(&sqlast.SetOption{}, xerr.New(xerr.CodeOption, "Incorrect arguments to SET"), dialect.MySQL); v != VerdictBug {
+		t.Errorf("SET option error must be a bug: %v", v)
+	}
+}
+
+func TestClassifySelectRuntimeErrors(t *testing.T) {
+	// Strict typing and arithmetic may legitimately fail at runtime.
+	for _, st := range []sqlast.Stmt{&sqlast.Select{}, &sqlast.Compound{}, &sqlast.Delete{}} {
+		if v := Classify(st, xerr.New(xerr.CodeType, "boolean required"), dialect.Postgres); v != VerdictExpected {
+			t.Errorf("%T type error: %v", st, v)
+		}
+		if v := Classify(st, xerr.New(xerr.CodeRange, "division by zero"), dialect.Postgres); v != VerdictExpected {
+			t.Errorf("%T range error: %v", st, v)
+		}
+	}
+}
+
+func TestContainment(t *testing.T) {
+	rows := [][]sqlval.Value{
+		{sqlval.Int(1), sqlval.Text("a")},
+		{sqlval.Null(), sqlval.Real(0.5)},
+	}
+	if !Containment(rows, []sqlval.Value{sqlval.Int(1), sqlval.Text("a")}) {
+		t.Error("exact tuple should be contained")
+	}
+	if !Containment(rows, []sqlval.Value{sqlval.Null(), sqlval.Real(0.5)}) {
+		t.Error("NULL tuple should be contained (identity semantics)")
+	}
+	if !Containment(rows, []sqlval.Value{sqlval.Real(1.0), sqlval.Text("a")}) {
+		t.Error("numeric cross-type tuple should be contained")
+	}
+	if Containment(rows, []sqlval.Value{sqlval.Int(1), sqlval.Text("A")}) {
+		t.Error("case-variant text should not be contained")
+	}
+	if Containment(rows, []sqlval.Value{sqlval.Int(1)}) {
+		t.Error("arity mismatch should not be contained")
+	}
+	if Containment(nil, []sqlval.Value{sqlval.Int(1)}) {
+		t.Error("empty result contains nothing")
+	}
+}
+
+func TestOracleForAndStrings(t *testing.T) {
+	if OracleFor(VerdictCrash) != faults.OracleCrash || OracleFor(VerdictBug) != faults.OracleError {
+		t.Error("OracleFor mapping wrong")
+	}
+	for _, v := range []Verdict{VerdictOK, VerdictExpected, VerdictArtifact, VerdictBug, VerdictCrash} {
+		if v.String() == "" || v.String() == "verdict?" {
+			t.Errorf("verdict %d has no name", v)
+		}
+	}
+}

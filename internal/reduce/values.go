@@ -1,0 +1,58 @@
+package reduce
+
+import (
+	"repro/internal/core"
+	"repro/internal/dialect"
+	"repro/internal/faults"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+// Values shrinks the VALUES lists of INSERT statements inside a reduced
+// trace: the paper's published test cases insert only the rows needed to
+// reproduce (e.g. Listing 1's five values), and statement-level reduction
+// alone cannot get there because it removes whole statements.
+//
+// The final statement is never touched. The input must satisfy check.
+func Values(trace []string, d dialect.Dialect, check Check) []string {
+	cur := append([]string(nil), trace...)
+	for i := 0; i < len(cur)-1; i++ {
+		st, err := sqlparse.ParseOne(cur[i], d)
+		if err != nil {
+			continue
+		}
+		ins, ok := st.(*sqlast.Insert)
+		if !ok || len(ins.Rows) <= 1 {
+			continue
+		}
+		changed := true
+		for changed {
+			changed = false
+			for r := 0; r < len(ins.Rows) && len(ins.Rows) > 1; r++ {
+				removed := ins.Rows[r]
+				ins.Rows = append(ins.Rows[:r], ins.Rows[r+1:]...)
+				cand := append([]string(nil), cur...)
+				cand[i] = sqlast.SQL(ins, d)
+				if check(cand) {
+					cur = cand
+					changed = true
+					r--
+					continue
+				}
+				// Restore the row at its original position.
+				ins.Rows = append(ins.Rows[:r], append([][]sqlast.Expr{removed}, ins.Rows[r:]...)...)
+			}
+		}
+	}
+	return cur
+}
+
+// BugFully runs statement-level reduction followed by VALUES shrinking.
+func BugFully(bug *core.Bug, d dialect.Dialect, fs *faults.Set) []string {
+	check := CheckerFor(bug, d, fs)
+	if !check(bug.Trace) {
+		return bug.Trace
+	}
+	reduced := Statements(bug.Trace, check)
+	return Values(reduced, d, check)
+}

@@ -1,0 +1,43 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/faults"
+)
+
+// TestFullCorpusDetectable is the load-bearing validation behind every
+// table and figure: each of the injected faults must be detected by a PQS
+// campaign within budget, by the oracle its registry entry names.
+func TestFullCorpusDetectable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep is not short")
+	}
+	for _, d := range dialect.All {
+		for _, info := range faults.ForDialect(d) {
+			info := info
+			d := d
+			t.Run(string(info.ID), func(t *testing.T) {
+				t.Parallel()
+				res := Run(Campaign{
+					Dialect:      d,
+					Fault:        info.ID,
+					MaxDatabases: 1500,
+					Workers:      2,
+					BaseSeed:     1,
+				})
+				if !res.Detected {
+					t.Fatalf("fault %s not detected in %d databases (%d statements)",
+						info.ID, res.Databases, res.Stats.Statements)
+				}
+				if res.Bug.Oracle != info.Oracle {
+					t.Errorf("fault %s caught by %s oracle, registry says %s (msg: %s)",
+						info.ID, res.Bug.Oracle, info.Oracle, res.Bug.Message)
+				}
+				t.Logf("detected after %d databases (%d stmts) via %s",
+					res.Databases, res.Stats.Statements, res.Bug.Oracle)
+			})
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package runner drives PQS campaigns: parallel workers, each on its own
+// database (the paper parallelizes by "running each thread on a distinct
+// database"), hunting one injected fault until detection or budget
+// exhaustion. Campaign results feed every table and figure reproduction.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dialect"
+	"repro/internal/faults"
+	"repro/internal/reduce"
+	"repro/internal/sqlval"
+)
+
+// Campaign configures one hunt.
+type Campaign struct {
+	Dialect dialect.Dialect
+	// Fault is the single injected bug to hunt ("" = none, soundness run).
+	Fault faults.Fault
+	// MaxDatabases bounds the total databases generated across workers.
+	MaxDatabases int
+	// Workers is the parallelism degree (default GOMAXPROCS, capped at 8).
+	Workers int
+	// BaseSeed offsets worker seeds for determinism.
+	BaseSeed int64
+	// Tester overrides generation parameters (Dialect/Seed/Faults are
+	// filled in by the runner).
+	Tester core.Config
+	// Reduce shrinks the detection's trace before returning.
+	Reduce bool
+}
+
+// Result is a campaign outcome.
+type Result struct {
+	Campaign  Campaign
+	Detected  bool
+	Bug       *core.Bug
+	Reduced   []string
+	Databases int
+	Stats     core.Stats
+	Elapsed   time.Duration
+}
+
+// Run executes the campaign.
+func Run(c Campaign) Result {
+	if c.MaxDatabases <= 0 {
+		c.MaxDatabases = 200
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	var fs *faults.Set
+	if c.Fault != "" {
+		fs = faults.NewSet(c.Fault)
+	}
+
+	start := time.Now()
+	var (
+		mu        sync.Mutex
+		found     *core.Bug
+		databases int
+		agg       = core.Stats{Rectified: map[sqlval.TriBool]int{}}
+	)
+
+	next := make(chan int64)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < c.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range next {
+				cfg := c.Tester
+				cfg.Dialect = c.Dialect
+				cfg.Seed = c.BaseSeed + seed
+				cfg.Faults = fs
+				tester := core.NewTester(cfg)
+				bug, err := tester.RunDatabase()
+				mu.Lock()
+				databases++
+				agg.Add(tester.Stats())
+				alreadyFound := found != nil
+				if err == nil && bug != nil && !alreadyFound {
+					found = bug
+					close(done)
+				}
+				mu.Unlock()
+				if err == nil && bug != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	go func() {
+		defer close(next)
+		for i := 0; i < c.MaxDatabases; i++ {
+			select {
+			case next <- int64(i):
+			case <-done:
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	res := Result{
+		Campaign:  c,
+		Detected:  found != nil,
+		Bug:       found,
+		Databases: databases,
+		Elapsed:   time.Since(start),
+	}
+	res.Stats = agg
+	if found != nil {
+		if c.Reduce {
+			res.Reduced = reduce.BugFully(found, c.Dialect, fs)
+		} else {
+			res.Reduced = found.Trace
+		}
+	}
+	return res
+}
+
+// RunCorpus hunts every registered fault of a dialect, one campaign each.
+func RunCorpus(d dialect.Dialect, maxDatabases int, baseSeed int64, doReduce bool) []Result {
+	var out []Result
+	for _, info := range faults.ForDialect(d) {
+		out = append(out, Run(Campaign{
+			Dialect:      d,
+			Fault:        info.ID,
+			MaxDatabases: maxDatabases,
+			BaseSeed:     baseSeed,
+			Reduce:       doReduce,
+		}))
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package sqlast
+
+// CloneExpr deep-copies an expression tree. The planner uses it to
+// normalize predicates without mutating ASTs shared with the catalog.
+func CloneExpr(e Expr) Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *Literal:
+		c := *n
+		return &c
+	case *ColumnRef:
+		c := *n
+		return &c
+	case *Unary:
+		return &Unary{Op: n.Op, X: CloneExpr(n.X)}
+	case *Binary:
+		return &Binary{Op: n.Op, L: CloneExpr(n.L), R: CloneExpr(n.R)}
+	case *Between:
+		return &Between{Not: n.Not, X: CloneExpr(n.X), Lo: CloneExpr(n.Lo), Hi: CloneExpr(n.Hi)}
+	case *InList:
+		c := &InList{Not: n.Not, X: CloneExpr(n.X)}
+		for _, x := range n.List {
+			c.List = append(c.List, CloneExpr(x))
+		}
+		return c
+	case *Cast:
+		return &Cast{X: CloneExpr(n.X), TypeName: n.TypeName}
+	case *Collate:
+		return &Collate{X: CloneExpr(n.X), Coll: n.Coll}
+	case *Case:
+		c := &Case{Operand: CloneExpr(n.Operand), Else: CloneExpr(n.Else)}
+		for _, w := range n.Whens {
+			c.Whens = append(c.Whens, WhenClause{When: CloneExpr(w.When), Then: CloneExpr(w.Then)})
+		}
+		return c
+	case *FuncCall:
+		c := &FuncCall{Name: n.Name}
+		for _, x := range n.Args {
+			c.Args = append(c.Args, CloneExpr(x))
+		}
+		return c
+	default:
+		panic("sqlast: CloneExpr: unknown node")
+	}
+}
+
+// StripQualifiers returns a copy of e with table qualifiers removed from
+// every column reference — the canonical form used when comparing a WHERE
+// conjunct against an index's partial predicate.
+func StripQualifiers(e Expr) Expr {
+	c := CloneExpr(e)
+	WalkExprs(c, func(x Expr) bool {
+		if cr, ok := x.(*ColumnRef); ok {
+			cr.Table = ""
+		}
+		return true
+	})
+	return c
+}

@@ -1,0 +1,44 @@
+package sqlast
+
+// CompoundOp is a compound SELECT operator.
+type CompoundOp uint8
+
+// Compound operators.
+const (
+	// OpUnion is UNION (set union, duplicates removed).
+	OpUnion CompoundOp = iota
+	// OpUnionAll is UNION ALL (bag union).
+	OpUnionAll
+	// OpIntersect is INTERSECT — the operator the paper uses to combine
+	// containment checking with query evaluation (§3.2, steps 6+7).
+	OpIntersect
+	// OpExcept is EXCEPT (set difference).
+	OpExcept
+)
+
+// String returns the SQL spelling.
+func (o CompoundOp) String() string {
+	switch o {
+	case OpUnion:
+		return "UNION"
+	case OpUnionAll:
+		return "UNION ALL"
+	case OpIntersect:
+		return "INTERSECT"
+	case OpExcept:
+		return "EXCEPT"
+	default:
+		return "UNION"
+	}
+}
+
+// Compound is a compound SELECT: S1 op S2 op S3 ..., left-associative.
+type Compound struct {
+	Selects []*Select    // len >= 2
+	Ops     []CompoundOp // len == len(Selects)-1
+}
+
+func (*Compound) isStmt() {}
+
+// Kind returns "SELECT" — compound queries count as SELECTs in Figure 3.
+func (*Compound) Kind() string { return "SELECT" }

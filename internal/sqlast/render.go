@@ -1,0 +1,595 @@
+package sqlast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dialect"
+)
+
+// SQL renders a statement as dialect-appropriate SQL text, terminated
+// without a semicolon. PQS renders generated ASTs through this function and
+// submits the text to the engine, which re-parses it — mirroring SQLancer
+// speaking SQL to a DBMS over a connection.
+func SQL(s Stmt, d dialect.Dialect) string {
+	var b strings.Builder
+	renderStmt(&b, s, d)
+	return b.String()
+}
+
+// ExprSQL renders an expression as dialect-appropriate SQL text.
+func ExprSQL(e Expr, d dialect.Dialect) string {
+	var b strings.Builder
+	renderExpr(&b, e, d)
+	return b.String()
+}
+
+func renderStmt(b *strings.Builder, s Stmt, d dialect.Dialect) {
+	switch n := s.(type) {
+	case *CreateTable:
+		renderCreateTable(b, n, d)
+	case *CreateIndex:
+		renderCreateIndex(b, n, d)
+	case *CreateView:
+		b.WriteString("CREATE VIEW ")
+		if n.IfNotExists {
+			b.WriteString("IF NOT EXISTS ")
+		}
+		b.WriteString(n.Name)
+		b.WriteString(" AS ")
+		renderSelect(b, n.Select, d)
+	case *CreateStats:
+		fmt.Fprintf(b, "CREATE STATISTICS %s ON %s FROM %s",
+			n.Name, strings.Join(n.Columns, ", "), n.Table)
+	case *Insert:
+		renderInsert(b, n, d)
+	case *Update:
+		renderUpdate(b, n, d)
+	case *Delete:
+		b.WriteString("DELETE FROM ")
+		b.WriteString(n.Table)
+		if n.Where != nil {
+			b.WriteString(" WHERE ")
+			renderExpr(b, n.Where, d)
+		}
+	case *AlterTable:
+		renderAlter(b, n, d)
+	case *Drop:
+		switch n.Obj {
+		case DropIndex:
+			b.WriteString("DROP INDEX ")
+		case DropView:
+			b.WriteString("DROP VIEW ")
+		default:
+			b.WriteString("DROP TABLE ")
+		}
+		if n.IfExists {
+			b.WriteString("IF EXISTS ")
+		}
+		b.WriteString(n.Name)
+	case *Select:
+		renderSelect(b, n, d)
+	case *Compound:
+		for i, sel := range n.Selects {
+			if i > 0 {
+				b.WriteString(" ")
+				b.WriteString(n.Ops[i-1].String())
+				b.WriteString(" ")
+			}
+			renderSelect(b, sel, d)
+		}
+	case *Maintenance:
+		renderMaintenance(b, n, d)
+	case *SetOption:
+		renderSetOption(b, n, d)
+	default:
+		panic(fmt.Sprintf("sqlast: cannot render %T", s))
+	}
+}
+
+func renderCreateTable(b *strings.Builder, n *CreateTable, d dialect.Dialect) {
+	b.WriteString("CREATE TABLE ")
+	if n.IfNotExists {
+		b.WriteString("IF NOT EXISTS ")
+	}
+	b.WriteString(n.Name)
+	b.WriteString("(")
+	for i, c := range n.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		renderColumnDef(b, &c, d)
+	}
+	if len(n.PrimaryKey) > 0 {
+		b.WriteString(", PRIMARY KEY (")
+		b.WriteString(strings.Join(n.PrimaryKey, ", "))
+		b.WriteString(")")
+	}
+	b.WriteString(")")
+	if n.WithoutRowid {
+		b.WriteString(" WITHOUT ROWID")
+	}
+	if n.Engine != "" {
+		b.WriteString(" ENGINE = ")
+		b.WriteString(n.Engine)
+	}
+	if n.Inherits != "" {
+		b.WriteString(" INHERITS (")
+		b.WriteString(n.Inherits)
+		b.WriteString(")")
+	}
+}
+
+func renderColumnDef(b *strings.Builder, c *ColumnDef, d dialect.Dialect) {
+	b.WriteString(c.Name)
+	if c.TypeName != "" {
+		b.WriteString(" ")
+		b.WriteString(c.TypeName)
+	}
+	if c.Unsigned {
+		b.WriteString(" UNSIGNED")
+	}
+	if c.PrimaryKey {
+		b.WriteString(" PRIMARY KEY")
+	}
+	if c.Unique {
+		b.WriteString(" UNIQUE")
+	}
+	if c.NotNull {
+		b.WriteString(" NOT NULL")
+	}
+	if c.Collate != "" {
+		b.WriteString(" COLLATE ")
+		b.WriteString(c.Collate)
+	}
+	if c.Default != nil {
+		b.WriteString(" DEFAULT (")
+		renderExpr(b, c.Default, d)
+		b.WriteString(")")
+	}
+	if c.Check != nil {
+		b.WriteString(" CHECK (")
+		renderExpr(b, c.Check, d)
+		b.WriteString(")")
+	}
+}
+
+func renderCreateIndex(b *strings.Builder, n *CreateIndex, d dialect.Dialect) {
+	b.WriteString("CREATE ")
+	if n.Unique {
+		b.WriteString("UNIQUE ")
+	}
+	b.WriteString("INDEX ")
+	if n.IfNotExists {
+		b.WriteString("IF NOT EXISTS ")
+	}
+	b.WriteString(n.Name)
+	b.WriteString(" ON ")
+	b.WriteString(n.Table)
+	b.WriteString("(")
+	for i, p := range n.Parts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		// Bare column names render unparenthesized; expression index
+		// parts need parens in MySQL and Postgres.
+		if c, ok := p.X.(*ColumnRef); ok && c.Table == "" {
+			b.WriteString(c.Column)
+		} else if _, ok := p.X.(*Literal); ok && d == dialect.SQLite {
+			renderExpr(b, p.X, d)
+		} else {
+			b.WriteString("(")
+			renderExpr(b, p.X, d)
+			b.WriteString(")")
+		}
+		if p.Collate != "" {
+			b.WriteString(" COLLATE ")
+			b.WriteString(p.Collate)
+		}
+		if p.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	b.WriteString(")")
+	if n.Where != nil {
+		b.WriteString(" WHERE ")
+		renderExpr(b, n.Where, d)
+	}
+}
+
+func renderInsert(b *strings.Builder, n *Insert, d dialect.Dialect) {
+	b.WriteString("INSERT ")
+	switch n.Conflict {
+	case ConflictIgnore:
+		if d == dialect.MySQL {
+			b.WriteString("IGNORE ")
+		} else {
+			b.WriteString("OR IGNORE ")
+		}
+	case ConflictReplace:
+		b.WriteString("OR REPLACE ")
+	}
+	b.WriteString("INTO ")
+	b.WriteString(n.Table)
+	if len(n.Columns) > 0 {
+		b.WriteString("(")
+		b.WriteString(strings.Join(n.Columns, ", "))
+		b.WriteString(")")
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range n.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, e, d)
+		}
+		b.WriteString(")")
+	}
+}
+
+func renderUpdate(b *strings.Builder, n *Update, d dialect.Dialect) {
+	b.WriteString("UPDATE ")
+	if n.Conflict == ConflictReplace {
+		b.WriteString("OR REPLACE ")
+	}
+	b.WriteString(n.Table)
+	b.WriteString(" SET ")
+	for i, a := range n.Sets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Column)
+		b.WriteString(" = ")
+		renderExpr(b, a.Value, d)
+	}
+	if n.Where != nil {
+		b.WriteString(" WHERE ")
+		renderExpr(b, n.Where, d)
+	}
+}
+
+func renderAlter(b *strings.Builder, n *AlterTable, d dialect.Dialect) {
+	b.WriteString("ALTER TABLE ")
+	b.WriteString(n.Table)
+	switch n.Action {
+	case AlterRenameTable:
+		b.WriteString(" RENAME TO ")
+		b.WriteString(n.NewName)
+	case AlterRenameColumn:
+		b.WriteString(" RENAME COLUMN ")
+		b.WriteString(n.OldName)
+		b.WriteString(" TO ")
+		b.WriteString(n.NewName)
+	case AlterAddColumn:
+		b.WriteString(" ADD COLUMN ")
+		renderColumnDef(b, &n.Column, d)
+	}
+}
+
+func renderSelect(b *strings.Builder, n *Select, d dialect.Dialect) {
+	b.WriteString("SELECT ")
+	if n.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, c := range n.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if c.Star {
+			b.WriteString("*")
+			continue
+		}
+		renderExpr(b, c.X, d)
+		if c.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(c.Alias)
+		}
+	}
+	if len(n.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, t := range n.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderTableRef(b, &t)
+		}
+	}
+	for _, j := range n.Joins {
+		switch j.Kind {
+		case JoinCross:
+			b.WriteString(" CROSS JOIN ")
+		case JoinLeft:
+			b.WriteString(" LEFT JOIN ")
+		default:
+			b.WriteString(" JOIN ")
+		}
+		renderTableRef(b, &j.Table)
+		if j.On != nil {
+			b.WriteString(" ON ")
+			renderExpr(b, j.On, d)
+		}
+	}
+	if n.Where != nil {
+		b.WriteString(" WHERE ")
+		renderExpr(b, n.Where, d)
+	}
+	if len(n.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range n.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, e, d)
+		}
+	}
+	if n.Having != nil {
+		b.WriteString(" HAVING ")
+		renderExpr(b, n.Having, d)
+	}
+	if len(n.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range n.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, o.X, d)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if n.Limit != nil {
+		b.WriteString(" LIMIT ")
+		renderExpr(b, n.Limit, d)
+		if n.Offset != nil {
+			b.WriteString(" OFFSET ")
+			renderExpr(b, n.Offset, d)
+		}
+	}
+}
+
+func renderTableRef(b *strings.Builder, t *TableRef) {
+	if t.Only {
+		b.WriteString("ONLY ")
+	}
+	b.WriteString(t.Name)
+	if t.Alias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(t.Alias)
+	}
+}
+
+func renderMaintenance(b *strings.Builder, n *Maintenance, d dialect.Dialect) {
+	switch n.Op {
+	case MaintVacuum:
+		b.WriteString("VACUUM")
+	case MaintVacuumFull:
+		b.WriteString("VACUUM FULL")
+	case MaintReindex:
+		b.WriteString("REINDEX")
+		if n.Table != "" {
+			b.WriteString(" ")
+			b.WriteString(n.Table)
+		}
+	case MaintAnalyze:
+		b.WriteString("ANALYZE")
+		if n.Table != "" {
+			b.WriteString(" ")
+			b.WriteString(n.Table)
+		}
+	case MaintRepairTable:
+		b.WriteString("REPAIR TABLE ")
+		b.WriteString(n.Table)
+	case MaintCheckTable:
+		b.WriteString("CHECK TABLE ")
+		b.WriteString(n.Table)
+	case MaintCheckTableForUpgrade:
+		b.WriteString("CHECK TABLE ")
+		b.WriteString(n.Table)
+		b.WriteString(" FOR UPGRADE")
+	case MaintDiscard:
+		b.WriteString("DISCARD PLANS")
+	}
+}
+
+func renderSetOption(b *strings.Builder, n *SetOption, d dialect.Dialect) {
+	if d == dialect.SQLite {
+		b.WriteString("PRAGMA ")
+		b.WriteString(n.Name)
+		b.WriteString(" = ")
+		renderExpr(b, n.Value, d)
+		return
+	}
+	b.WriteString("SET ")
+	if n.Global {
+		b.WriteString("GLOBAL ")
+	}
+	b.WriteString(n.Name)
+	b.WriteString(" = ")
+	renderExpr(b, n.Value, d)
+}
+
+// binOpToken returns the SQL spelling of a binary operator for the dialect.
+func binOpToken(op BinOp, d dialect.Dialect) string {
+	switch op {
+	case OpOr:
+		return "OR"
+	case OpAnd:
+		return "AND"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpIs:
+		return "IS"
+	case OpIsNot:
+		return "IS NOT"
+	case OpNullSafeEq:
+		return "<=>"
+	case OpLike:
+		return "LIKE"
+	case OpNotLike:
+		return "NOT LIKE"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpConcat:
+		if d.ConcatIsOr() {
+			// MySQL spells concatenation CONCAT(); `||` is OR. The
+			// generator never emits OpConcat for MySQL, but render it
+			// safely if asked.
+			return "||"
+		}
+		return "||"
+	case OpBitAnd:
+		return "&"
+	case OpBitOr:
+		return "|"
+	case OpShl:
+		return "<<"
+	case OpShr:
+		return ">>"
+	default:
+		panic(fmt.Sprintf("sqlast: unknown binop %d", op))
+	}
+}
+
+func renderExpr(b *strings.Builder, e Expr, d dialect.Dialect) {
+	switch n := e.(type) {
+	case *Literal:
+		b.WriteString(n.Val.Literal())
+	case *ColumnRef:
+		if n.MaybeString {
+			b.WriteString("\"")
+			b.WriteString(strings.ReplaceAll(n.Column, "\"", "\"\""))
+			b.WriteString("\"")
+			return
+		}
+		if n.Table != "" {
+			b.WriteString(n.Table)
+			b.WriteString(".")
+		}
+		b.WriteString(n.Column)
+	case *Unary:
+		switch n.Op {
+		case OpNot:
+			b.WriteString("(NOT ")
+			renderExpr(b, n.X, d)
+			b.WriteString(")")
+		case OpNeg:
+			b.WriteString("(- ")
+			renderExpr(b, n.X, d)
+			b.WriteString(")")
+		case OpPos:
+			b.WriteString("(+ ")
+			renderExpr(b, n.X, d)
+			b.WriteString(")")
+		case OpBitNot:
+			b.WriteString("(~ ")
+			renderExpr(b, n.X, d)
+			b.WriteString(")")
+		case OpIsNull:
+			b.WriteString("(")
+			renderExpr(b, n.X, d)
+			b.WriteString(" IS NULL)")
+		case OpNotNull:
+			b.WriteString("(")
+			renderExpr(b, n.X, d)
+			b.WriteString(" IS NOT NULL)")
+		}
+	case *Binary:
+		b.WriteString("(")
+		renderExpr(b, n.L, d)
+		b.WriteString(" ")
+		b.WriteString(binOpToken(n.Op, d))
+		b.WriteString(" ")
+		renderExpr(b, n.R, d)
+		b.WriteString(")")
+	case *Between:
+		b.WriteString("(")
+		renderExpr(b, n.X, d)
+		if n.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		renderExpr(b, n.Lo, d)
+		b.WriteString(" AND ")
+		renderExpr(b, n.Hi, d)
+		b.WriteString(")")
+	case *InList:
+		b.WriteString("(")
+		renderExpr(b, n.X, d)
+		if n.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		for i, x := range n.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, x, d)
+		}
+		b.WriteString("))")
+	case *Cast:
+		b.WriteString("CAST(")
+		renderExpr(b, n.X, d)
+		b.WriteString(" AS ")
+		b.WriteString(n.TypeName)
+		b.WriteString(")")
+	case *Collate:
+		b.WriteString("(")
+		renderExpr(b, n.X, d)
+		b.WriteString(" COLLATE ")
+		b.WriteString(n.Coll.String())
+		b.WriteString(")")
+	case *Case:
+		b.WriteString("CASE")
+		if n.Operand != nil {
+			b.WriteString(" ")
+			renderExpr(b, n.Operand, d)
+		}
+		for _, w := range n.Whens {
+			b.WriteString(" WHEN ")
+			renderExpr(b, w.When, d)
+			b.WriteString(" THEN ")
+			renderExpr(b, w.Then, d)
+		}
+		if n.Else != nil {
+			b.WriteString(" ELSE ")
+			renderExpr(b, n.Else, d)
+		}
+		b.WriteString(" END")
+	case *FuncCall:
+		b.WriteString(n.Name)
+		b.WriteString("(")
+		for i, x := range n.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, x, d)
+		}
+		b.WriteString(")")
+	default:
+		panic(fmt.Sprintf("sqlast: cannot render expr %T", e))
+	}
+}

@@ -1,0 +1,296 @@
+package sqlast
+
+// Stmt is any SQL statement node.
+type Stmt interface {
+	isStmt()
+	// Kind returns the statement-category label used by Figure 3 of the
+	// paper ("CREATE TABLE", "INSERT", "SELECT", "OPTION", ...).
+	Kind() string
+}
+
+// ColumnDef defines one column in CREATE TABLE / ALTER TABLE ADD COLUMN.
+type ColumnDef struct {
+	Name       string
+	TypeName   string // may be empty (SQLite)
+	Unsigned   bool   // MySQL
+	PrimaryKey bool
+	Unique     bool
+	NotNull    bool
+	Collate    string // empty = default
+	Default    Expr   // nil if absent
+	Check      Expr   // nil if absent
+}
+
+// CreateTable is CREATE TABLE.
+type CreateTable struct {
+	Name         string
+	IfNotExists  bool
+	Columns      []ColumnDef
+	PrimaryKey   []string // table-level PK column names (empty if none/column-level)
+	WithoutRowid bool     // SQLite
+	Engine       string   // MySQL: "", "INNODB", "MEMORY", "CSV"
+	Inherits     string   // Postgres: parent table name, empty if none
+}
+
+// IndexedExpr is one key part of an index: an expression (often a bare
+// column), an optional collation, and sort order.
+type IndexedExpr struct {
+	X       Expr
+	Collate string
+	Desc    bool
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX ... ON table(parts) [WHERE pred].
+type CreateIndex struct {
+	Name        string
+	IfNotExists bool
+	Unique      bool
+	Table       string
+	Parts       []IndexedExpr
+	Where       Expr // partial index predicate (nil if absent)
+}
+
+// CreateView is CREATE VIEW name AS select.
+type CreateView struct {
+	Name        string
+	IfNotExists bool
+	Select      *Select
+}
+
+// CreateStats is CREATE STATISTICS (Postgres).
+type CreateStats struct {
+	Name    string
+	Table   string
+	Columns []string
+}
+
+// ConflictAction modifies INSERT/UPDATE conflict behaviour.
+type ConflictAction uint8
+
+// Conflict actions.
+const (
+	ConflictNone ConflictAction = iota
+	ConflictIgnore
+	ConflictReplace
+)
+
+// Insert is INSERT [OR IGNORE|OR REPLACE] INTO t(cols) VALUES rows.
+type Insert struct {
+	Table    string
+	Columns  []string // empty = all columns in order
+	Rows     [][]Expr
+	Conflict ConflictAction
+}
+
+// Assignment is one SET clause of UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// Update is UPDATE [OR REPLACE] t SET ... [WHERE ...].
+type Update struct {
+	Table    string
+	Sets     []Assignment
+	Where    Expr // nil = all rows
+	Conflict ConflictAction
+}
+
+// Delete is DELETE FROM t [WHERE ...].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// AlterKind selects the ALTER TABLE form.
+type AlterKind uint8
+
+// ALTER TABLE forms.
+const (
+	AlterRenameTable AlterKind = iota
+	AlterRenameColumn
+	AlterAddColumn
+)
+
+// AlterTable is ALTER TABLE.
+type AlterTable struct {
+	Table   string
+	Action  AlterKind
+	NewName string    // rename table / rename column target
+	OldName string    // rename column source
+	Column  ColumnDef // add column
+}
+
+// DropKind selects the object class of DROP.
+type DropKind uint8
+
+// DROP object classes.
+const (
+	DropTable DropKind = iota
+	DropIndex
+	DropView
+)
+
+// Drop is DROP TABLE/INDEX/VIEW.
+type Drop struct {
+	Obj      DropKind
+	Name     string
+	IfExists bool
+}
+
+// TableRef names a table or view in FROM, with optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+	Only  bool // Postgres: FROM ONLY t (exclude inheritance children)
+}
+
+// JoinKind enumerates join types.
+type JoinKind uint8
+
+// Join types.
+const (
+	JoinCross JoinKind = iota
+	JoinInner
+	JoinLeft
+)
+
+// JoinClause is one JOIN after the first FROM item.
+type JoinClause struct {
+	Kind  JoinKind
+	Table TableRef
+	On    Expr // nil for CROSS
+}
+
+// ResultCol is one output column of SELECT: an expression with optional
+// alias, or star.
+type ResultCol struct {
+	Star  bool
+	X     Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	X    Expr
+	Desc bool
+}
+
+// Select is the SELECT statement (DQL).
+type Select struct {
+	Distinct bool
+	Cols     []ResultCol
+	From     []TableRef // comma-joined sources; may be empty (SELECT 1)
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // nil = no limit
+	Offset   Expr
+}
+
+// MaintKind enumerates maintenance statements (the paper's error-oracle
+// hot spots: VACUUM, REINDEX, ANALYZE, REPAIR TABLE, CHECK TABLE, DISCARD).
+type MaintKind uint8
+
+// Maintenance statement kinds.
+const (
+	MaintVacuum MaintKind = iota
+	MaintVacuumFull
+	MaintReindex
+	MaintAnalyze
+	MaintRepairTable
+	MaintCheckTable
+	MaintCheckTableForUpgrade
+	MaintDiscard
+)
+
+// Maintenance is a maintenance statement, optionally scoped to a table.
+type Maintenance struct {
+	Op    MaintKind
+	Table string // empty = whole database where allowed
+}
+
+// SetOption is PRAGMA name=value (SQLite) or SET [GLOBAL] name = value
+// (MySQL/Postgres).
+type SetOption struct {
+	Global bool
+	Name   string
+	Value  Expr
+}
+
+func (*CreateTable) isStmt() {}
+func (*CreateIndex) isStmt() {}
+func (*CreateView) isStmt()  {}
+func (*CreateStats) isStmt() {}
+func (*Insert) isStmt()      {}
+func (*Update) isStmt()      {}
+func (*Delete) isStmt()      {}
+func (*AlterTable) isStmt()  {}
+func (*Drop) isStmt()        {}
+func (*Select) isStmt()      {}
+func (*Maintenance) isStmt() {}
+func (*SetOption) isStmt()   {}
+
+// Kind implementations produce the Figure 3 statement-category labels.
+
+// Kind returns "CREATE TABLE".
+func (*CreateTable) Kind() string { return "CREATE TABLE" }
+
+// Kind returns "CREATE INDEX".
+func (*CreateIndex) Kind() string { return "CREATE INDEX" }
+
+// Kind returns "CREATE VIEW".
+func (*CreateView) Kind() string { return "CREATE VIEW" }
+
+// Kind returns "CREATE STATS".
+func (*CreateStats) Kind() string { return "CREATE STATS" }
+
+// Kind returns "INSERT".
+func (*Insert) Kind() string { return "INSERT" }
+
+// Kind returns "UPDATE".
+func (*Update) Kind() string { return "UPDATE" }
+
+// Kind returns "DELETE".
+func (*Delete) Kind() string { return "DELETE" }
+
+// Kind returns "ALTER TABLE".
+func (*AlterTable) Kind() string { return "ALTER TABLE" }
+
+// Kind returns "DROP TABLE" / "DROP INDEX" / "DROP VIEW".
+func (d *Drop) Kind() string {
+	switch d.Obj {
+	case DropIndex:
+		return "DROP INDEX"
+	case DropView:
+		return "DROP VIEW"
+	default:
+		return "DROP TABLE"
+	}
+}
+
+// Kind returns "SELECT".
+func (*Select) Kind() string { return "SELECT" }
+
+// Kind returns the maintenance statement label.
+func (m *Maintenance) Kind() string {
+	switch m.Op {
+	case MaintVacuum, MaintVacuumFull:
+		return "VACUUM"
+	case MaintReindex:
+		return "REINDEX"
+	case MaintAnalyze:
+		return "ANALYZE"
+	case MaintRepairTable, MaintCheckTable, MaintCheckTableForUpgrade:
+		return "REPAIR/CHECK TABLE"
+	case MaintDiscard:
+		return "DISCARD"
+	default:
+		return "MAINTENANCE"
+	}
+}
+
+// Kind returns "OPTION".
+func (*SetOption) Kind() string { return "OPTION" }

@@ -1,0 +1,245 @@
+// Package sqlparse implements a hand-written lexer and recursive-descent
+// parser for the three SQL dialects the engine substrate emulates. The
+// engine parses every statement it receives — including the SQL text that
+// PQS renders from generated ASTs — exactly like a real DBMS would.
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokDoubleQuoted // "..." — identifier or string depending on context (SQLite misfeature)
+	tokString       // '...'
+	tokBlob         // x'hex'
+	tokInt
+	tokFloat
+	tokOp // punctuation / operator
+)
+
+// token is one lexical token.
+type token struct {
+	kind tokKind
+	text string // raw text for idents/ops; decoded payload for strings/blobs
+	pos  int    // byte offset, for error messages
+}
+
+// Error is a syntax error raised by the parser or lexer.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("syntax error at offset %d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src fully. It returns a syntax error for unterminated
+// strings or invalid characters.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, errf(i, "unterminated block comment")
+			}
+			i += 2 + end + 2
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentCont(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			// Blob literal: x'ab01'
+			if (word == "x" || word == "X") && i < n && src[i] == '\'' {
+				payload, next, err := lexString(src, i)
+				if err != nil {
+					return nil, err
+				}
+				b, err := decodeHex(payload, start)
+				if err != nil {
+					return nil, err
+				}
+				toks = append(toks, token{kind: tokBlob, text: string(b), pos: start})
+				i = next
+				continue
+			}
+			toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9':
+			start := i
+			kind := tokInt
+			for i < n && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			if i < n && src[i] == '.' {
+				kind = tokFloat
+				i++
+				for i < n && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < n && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < n && src[j] >= '0' && src[j] <= '9' {
+					kind = tokFloat
+					i = j
+					for i < n && src[i] >= '0' && src[i] <= '9' {
+						i++
+					}
+				}
+			}
+			toks = append(toks, token{kind: kind, text: src[start:i], pos: start})
+		case c == '\'':
+			payload, next, err := lexString(src, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokString, text: payload, pos: i})
+			i = next
+		case c == '"' || c == '`':
+			quote := c
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, errf(start, "unterminated quoted identifier")
+				}
+				if src[i] == quote {
+					if i+1 < n && src[i+1] == quote {
+						sb.WriteByte(quote)
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			kind := tokDoubleQuoted
+			if quote == '`' {
+				kind = tokIdent // backtick is always an identifier (MySQL)
+			}
+			toks = append(toks, token{kind: kind, text: sb.String(), pos: start})
+		default:
+			op, width := lexOp(src, i)
+			if width == 0 {
+				return nil, errf(i, "unexpected character %q", c)
+			}
+			toks = append(toks, token{kind: tokOp, text: op, pos: i})
+			i += width
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+// lexString reads a single-quoted string starting at src[start]=='\”.
+// It returns the decoded payload and the index just past the closing quote.
+func lexString(src string, start int) (string, int, error) {
+	i := start + 1
+	n := len(src)
+	var sb strings.Builder
+	for {
+		if i >= n {
+			return "", 0, errf(start, "unterminated string literal")
+		}
+		if src[i] == '\'' {
+			if i+1 < n && src[i+1] == '\'' {
+				sb.WriteByte('\'')
+				i += 2
+				continue
+			}
+			return sb.String(), i + 1, nil
+		}
+		sb.WriteByte(src[i])
+		i++
+	}
+}
+
+func decodeHex(s string, pos int) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, errf(pos, "odd-length blob literal")
+	}
+	out := make([]byte, 0, len(s)/2)
+	for i := 0; i < len(s); i += 2 {
+		hi, ok1 := hexVal(s[i])
+		lo, ok2 := hexVal(s[i+1])
+		if !ok1 || !ok2 {
+			return nil, errf(pos, "invalid hex digit in blob literal")
+		}
+		out = append(out, hi<<4|lo)
+	}
+	return out, nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// multi-char operators, longest first.
+var multiOps = []string{"<=>", "<<", ">>", "<=", ">=", "<>", "!=", "==", "||"}
+
+func lexOp(src string, i int) (string, int) {
+	for _, op := range multiOps {
+		if strings.HasPrefix(src[i:], op) {
+			return op, len(op)
+		}
+	}
+	switch src[i] {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '(', ')', ',', '.', ';', '&', '|', '~':
+		return src[i : i+1], 1
+	}
+	return "", 0
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// parseIntToken converts an integer token, falling back to float on
+// overflow (SQLite behaviour: out-of-range integers become reals).
+func parseIntToken(text string) (int64, float64, bool) {
+	if v, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return v, 0, true
+	}
+	f, _ := strconv.ParseFloat(text, 64)
+	return 0, f, false
+}

@@ -1,0 +1,1519 @@
+package sqlparse
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/dialect"
+	"repro/internal/sqlast"
+	"repro/internal/sqlval"
+)
+
+// Parse tokenizes and parses src into a sequence of statements separated by
+// semicolons.
+func Parse(src string, d dialect.Dialect) ([]sqlast.Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, d: d}
+	var stmts []sqlast.Stmt
+	for {
+		for p.acceptOp(";") {
+		}
+		if p.peek().kind == tokEOF {
+			return stmts, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.acceptOp(";") && p.peek().kind != tokEOF {
+			return nil, errf(p.peek().pos, "expected ';' or end of input, got %q", p.peek().text)
+		}
+	}
+}
+
+// ParseOne parses exactly one statement.
+func ParseOne(src string, d dialect.Dialect) (sqlast.Stmt, error) {
+	stmts, err := Parse(src, d)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, errf(0, "expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseExpr parses a standalone expression.
+func ParseExpr(src string, d dialect.Dialect) (sqlast.Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, d: d}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, errf(p.peek().pos, "trailing input after expression")
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	d    dialect.Dialect
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// peekKeyword reports whether the next token is the given keyword
+// (case-insensitive identifier match).
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errf(p.peek().pos, "expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	t := p.peek()
+	if t.kind == tokOp && t.text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return errf(p.peek().pos, "expected %q, got %q", op, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent || t.kind == tokDoubleQuoted {
+		p.pos++
+		return t.text, nil
+	}
+	return "", errf(t.pos, "expected identifier, got %q", t.text)
+}
+
+// reserved keywords that terminate an alias-free identifier position.
+var reservedAfterExpr = map[string]bool{
+	"FROM": true, "WHERE": true, "GROUP": true, "HAVING": true, "ORDER": true,
+	"LIMIT": true, "OFFSET": true, "JOIN": true, "CROSS": true, "LEFT": true,
+	"INNER": true, "ON": true, "AND": true, "OR": true, "NOT": true, "AS": true,
+	"UNION": true, "INTERSECT": true, "EXCEPT": true, "SET": true, "VALUES": true,
+	"DESC": true, "ASC": true, "COLLATE": true, "THEN": true, "ELSE": true,
+	"WHEN": true, "END": true, "ONLY": true,
+}
+
+func (p *parser) parseStmt() (sqlast.Stmt, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, errf(t.pos, "expected statement, got %q", t.text)
+	}
+	switch strings.ToUpper(t.text) {
+	case "CREATE":
+		return p.parseCreate()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "ALTER":
+		return p.parseAlter()
+	case "DROP":
+		return p.parseDrop()
+	case "SELECT":
+		return p.parseCompoundSelect()
+	case "VACUUM":
+		p.next()
+		if p.acceptKeyword("FULL") {
+			return &sqlast.Maintenance{Op: sqlast.MaintVacuumFull}, nil
+		}
+		return &sqlast.Maintenance{Op: sqlast.MaintVacuum}, nil
+	case "REINDEX":
+		p.next()
+		m := &sqlast.Maintenance{Op: sqlast.MaintReindex}
+		if tt := p.peek(); tt.kind == tokIdent && !reservedAfterExpr[strings.ToUpper(tt.text)] {
+			m.Table = tt.text
+			p.next()
+		}
+		return m, nil
+	case "ANALYZE":
+		p.next()
+		m := &sqlast.Maintenance{Op: sqlast.MaintAnalyze}
+		if tt := p.peek(); tt.kind == tokIdent {
+			m.Table = tt.text
+			p.next()
+		}
+		return m, nil
+	case "REPAIR":
+		p.next()
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Maintenance{Op: sqlast.MaintRepairTable, Table: name}, nil
+	case "CHECK":
+		p.next()
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptKeyword("FOR") {
+			if err := p.expectKeyword("UPGRADE"); err != nil {
+				return nil, err
+			}
+			return &sqlast.Maintenance{Op: sqlast.MaintCheckTableForUpgrade, Table: name}, nil
+		}
+		return &sqlast.Maintenance{Op: sqlast.MaintCheckTable, Table: name}, nil
+	case "DISCARD":
+		p.next()
+		p.acceptKeyword("PLANS")
+		return &sqlast.Maintenance{Op: sqlast.MaintDiscard}, nil
+	case "PRAGMA":
+		p.next()
+		return p.parseSetTail(false)
+	case "SET":
+		p.next()
+		global := p.acceptKeyword("GLOBAL")
+		return p.parseSetTail(global)
+	}
+	return nil, errf(t.pos, "unknown statement %q", t.text)
+}
+
+func (p *parser) parseSetTail(global bool) (sqlast.Stmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptOp("=") {
+		// `PRAGMA name` (query form) — value defaults to NULL.
+		return &sqlast.SetOption{Global: global, Name: strings.ToLower(name)}, nil
+	}
+	v, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &sqlast.SetOption{Global: global, Name: strings.ToLower(name), Value: v}, nil
+}
+
+func (p *parser) parseCreate() (sqlast.Stmt, error) {
+	p.next() // CREATE
+	unique := p.acceptKeyword("UNIQUE")
+	switch {
+	case p.acceptKeyword("TABLE"):
+		return p.parseCreateTable()
+	case p.acceptKeyword("INDEX"):
+		return p.parseCreateIndex(unique)
+	case p.acceptKeyword("VIEW"):
+		return p.parseCreateView()
+	case p.acceptKeyword("STATISTICS"):
+		return p.parseCreateStats()
+	}
+	return nil, errf(p.peek().pos, "expected TABLE, INDEX, VIEW, or STATISTICS after CREATE")
+}
+
+func (p *parser) parseIfNotExists() bool {
+	if p.peekKeyword("IF") {
+		save := p.pos
+		p.next()
+		if p.acceptKeyword("NOT") && p.acceptKeyword("EXISTS") {
+			return true
+		}
+		p.pos = save
+	}
+	return false
+}
+
+// constraint keywords that end a column's type-name token run.
+var columnConstraintKw = map[string]bool{
+	"PRIMARY": true, "UNIQUE": true, "NOT": true, "NULL": true, "COLLATE": true,
+	"DEFAULT": true, "CHECK": true, "REFERENCES": true, "UNSIGNED": true,
+}
+
+func (p *parser) parseCreateTable() (sqlast.Stmt, error) {
+	ct := &sqlast.CreateTable{IfNotExists: p.parseIfNotExists()}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ct.Name = name
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.peekKeyword("PRIMARY") {
+			p.next()
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			for {
+				c, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, c)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.parseColumnDef()
+			if err != nil {
+				return nil, err
+			}
+			ct.Columns = append(ct.Columns, col)
+		}
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptKeyword("WITHOUT"):
+			if err := p.expectKeyword("ROWID"); err != nil {
+				return nil, err
+			}
+			ct.WithoutRowid = true
+		case p.acceptKeyword("ENGINE"):
+			if err := p.expectOp("="); err != nil {
+				return nil, err
+			}
+			eng, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ct.Engine = strings.ToUpper(eng)
+		case p.acceptKeyword("INHERITS"):
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			parent, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ct.Inherits = parent
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		default:
+			return ct, nil
+		}
+	}
+}
+
+func (p *parser) parseColumnDef() (sqlast.ColumnDef, error) {
+	var cd sqlast.ColumnDef
+	name, err := p.expectIdent()
+	if err != nil {
+		return cd, err
+	}
+	cd.Name = name
+	// Type name: a run of identifiers not in the constraint-keyword set,
+	// optionally followed by (n[,m]).
+	var typeWords []string
+	for {
+		t := p.peek()
+		if t.kind != tokIdent || columnConstraintKw[strings.ToUpper(t.text)] {
+			break
+		}
+		typeWords = append(typeWords, t.text)
+		p.next()
+		if p.acceptOp("(") {
+			depth := 1
+			args := "("
+			for depth > 0 {
+				tt := p.next()
+				if tt.kind == tokEOF {
+					return cd, errf(tt.pos, "unterminated type arguments")
+				}
+				if tt.kind == tokOp && tt.text == "(" {
+					depth++
+				}
+				if tt.kind == tokOp && tt.text == ")" {
+					depth--
+					if depth == 0 {
+						args += ")"
+						break
+					}
+				}
+				args += tt.text
+			}
+			typeWords[len(typeWords)-1] += args
+		}
+	}
+	cd.TypeName = strings.Join(typeWords, " ")
+	// Constraints, in any order.
+	for {
+		switch {
+		case p.acceptKeyword("UNSIGNED"):
+			cd.Unsigned = true
+		case p.peekKeyword("PRIMARY"):
+			p.next()
+			if err := p.expectKeyword("KEY"); err != nil {
+				return cd, err
+			}
+			cd.PrimaryKey = true
+		case p.acceptKeyword("UNIQUE"):
+			cd.Unique = true
+		case p.peekKeyword("NOT"):
+			save := p.pos
+			p.next()
+			if p.acceptKeyword("NULL") {
+				cd.NotNull = true
+			} else {
+				p.pos = save
+				return cd, nil
+			}
+		case p.acceptKeyword("COLLATE"):
+			coll, err := p.expectIdent()
+			if err != nil {
+				return cd, err
+			}
+			cd.Collate = strings.ToUpper(coll)
+		case p.acceptKeyword("DEFAULT"):
+			e, err := p.parsePrimary()
+			if err != nil {
+				return cd, err
+			}
+			cd.Default = e
+		case p.acceptKeyword("CHECK"):
+			if err := p.expectOp("("); err != nil {
+				return cd, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return cd, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return cd, err
+			}
+			cd.Check = e
+		default:
+			return cd, nil
+		}
+	}
+}
+
+func (p *parser) parseCreateIndex(unique bool) (sqlast.Stmt, error) {
+	ci := &sqlast.CreateIndex{Unique: unique, IfNotExists: p.parseIfNotExists()}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ci.Name = name
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ci.Table = table
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		var part sqlast.IndexedExpr
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		// The expression parser consumes a trailing COLLATE; fold it into
+		// the key part so `c0 COLLATE NOCASE` records the collation.
+		if coll, ok := e.(*sqlast.Collate); ok {
+			e = coll.X
+			part.Collate = coll.Coll.String()
+		}
+		part.X = e
+		if p.acceptKeyword("COLLATE") {
+			coll, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			part.Collate = strings.ToUpper(coll)
+		}
+		if p.acceptKeyword("DESC") {
+			part.Desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+		ci.Parts = append(ci.Parts, part)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ci.Where = e
+	}
+	return ci, nil
+}
+
+func (p *parser) parseCreateView() (sqlast.Stmt, error) {
+	cv := &sqlast.CreateView{IfNotExists: p.parseIfNotExists()}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	cv.Name = name
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	if !p.peekKeyword("SELECT") {
+		return nil, errf(p.peek().pos, "expected SELECT in CREATE VIEW")
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	cv.Select = sel.(*sqlast.Select)
+	return cv, nil
+}
+
+func (p *parser) parseCreateStats() (sqlast.Stmt, error) {
+	cs := &sqlast.CreateStats{}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	cs.Name = name
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		cs.Columns = append(cs.Columns, c)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	cs.Table = table
+	return cs, nil
+}
+
+func (p *parser) parseInsert() (sqlast.Stmt, error) {
+	p.next() // INSERT
+	ins := &sqlast.Insert{}
+	switch {
+	case p.acceptKeyword("OR"):
+		switch {
+		case p.acceptKeyword("IGNORE"):
+			ins.Conflict = sqlast.ConflictIgnore
+		case p.acceptKeyword("REPLACE"):
+			ins.Conflict = sqlast.ConflictReplace
+		default:
+			return nil, errf(p.peek().pos, "expected IGNORE or REPLACE after INSERT OR")
+		}
+	case p.acceptKeyword("IGNORE"): // MySQL spelling
+		ins.Conflict = sqlast.ConflictIgnore
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ins.Table = table
+	if p.acceptOp("(") {
+		for {
+			c, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, c)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []sqlast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (sqlast.Stmt, error) {
+	p.next() // UPDATE
+	up := &sqlast.Update{}
+	if p.acceptKeyword("OR") {
+		if err := p.expectKeyword("REPLACE"); err != nil {
+			return nil, err
+		}
+		up.Conflict = sqlast.ConflictReplace
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	up.Table = table
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Sets = append(up.Sets, sqlast.Assignment{Column: col, Value: v})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = e
+	}
+	return up, nil
+}
+
+func (p *parser) parseDelete() (sqlast.Stmt, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	del := &sqlast.Delete{Table: table}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = e
+	}
+	return del, nil
+}
+
+func (p *parser) parseAlter() (sqlast.Stmt, error) {
+	p.next() // ALTER
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	at := &sqlast.AlterTable{Table: table}
+	switch {
+	case p.acceptKeyword("RENAME"):
+		if p.acceptKeyword("COLUMN") {
+			old, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("TO"); err != nil {
+				return nil, err
+			}
+			newName, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			at.Action = sqlast.AlterRenameColumn
+			at.OldName = old
+			at.NewName = newName
+			return at, nil
+		}
+		if err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+		newName, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		at.Action = sqlast.AlterRenameTable
+		at.NewName = newName
+		return at, nil
+	case p.acceptKeyword("ADD"):
+		p.acceptKeyword("COLUMN")
+		col, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		at.Action = sqlast.AlterAddColumn
+		at.Column = col
+		return at, nil
+	}
+	return nil, errf(p.peek().pos, "expected RENAME or ADD in ALTER TABLE")
+}
+
+func (p *parser) parseDrop() (sqlast.Stmt, error) {
+	p.next() // DROP
+	d := &sqlast.Drop{}
+	switch {
+	case p.acceptKeyword("TABLE"):
+		d.Obj = sqlast.DropTable
+	case p.acceptKeyword("INDEX"):
+		d.Obj = sqlast.DropIndex
+	case p.acceptKeyword("VIEW"):
+		d.Obj = sqlast.DropView
+	default:
+		return nil, errf(p.peek().pos, "expected TABLE, INDEX, or VIEW after DROP")
+	}
+	if p.peekKeyword("IF") {
+		p.next()
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		d.IfExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name
+	return d, nil
+}
+
+// parseCompoundSelect parses SELECT ... [UNION [ALL]|INTERSECT|EXCEPT
+// SELECT ...]*, returning a plain *Select when no compound operator
+// appears.
+func (p *parser) parseCompoundSelect() (sqlast.Stmt, error) {
+	first, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	comp := &sqlast.Compound{Selects: []*sqlast.Select{first.(*sqlast.Select)}}
+	for {
+		var op sqlast.CompoundOp
+		switch {
+		case p.acceptKeyword("UNION"):
+			op = sqlast.OpUnion
+			if p.acceptKeyword("ALL") {
+				op = sqlast.OpUnionAll
+			}
+		case p.acceptKeyword("INTERSECT"):
+			op = sqlast.OpIntersect
+		case p.acceptKeyword("EXCEPT"):
+			op = sqlast.OpExcept
+		default:
+			if len(comp.Selects) == 1 {
+				return comp.Selects[0], nil
+			}
+			return comp, nil
+		}
+		if !p.peekKeyword("SELECT") {
+			return nil, errf(p.peek().pos, "expected SELECT after %s", op)
+		}
+		next, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		comp.Selects = append(comp.Selects, next.(*sqlast.Select))
+		comp.Ops = append(comp.Ops, op)
+	}
+}
+
+func (p *parser) parseSelect() (sqlast.Stmt, error) {
+	p.next() // SELECT
+	sel := &sqlast.Select{}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	for {
+		if p.acceptOp("*") {
+			sel.Cols = append(sel.Cols, sqlast.ResultCol{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rc := sqlast.ResultCol{X: e}
+			if p.acceptKeyword("AS") {
+				alias, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				rc.Alias = alias
+			} else if t := p.peek(); t.kind == tokIdent && !reservedAfterExpr[strings.ToUpper(t.text)] && !isStmtBoundary(t.text) {
+				rc.Alias = t.text
+				p.next()
+			}
+			sel.Cols = append(sel.Cols, rc)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, tr)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		for {
+			var jk sqlast.JoinKind
+			switch {
+			case p.acceptKeyword("CROSS"):
+				jk = sqlast.JoinCross
+			case p.acceptKeyword("LEFT"):
+				p.acceptKeyword("OUTER")
+				jk = sqlast.JoinLeft
+			case p.acceptKeyword("INNER"):
+				jk = sqlast.JoinInner
+			case p.peekKeyword("JOIN"):
+				jk = sqlast.JoinInner
+			default:
+				goto afterJoins
+			}
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			jc := sqlast.JoinClause{Kind: jk, Table: tr}
+			if p.acceptKeyword("ON") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				jc.On = e
+			}
+			sel.Joins = append(sel.Joins, jc)
+		}
+	}
+afterJoins:
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			oi := sqlast.OrderItem{X: e}
+			if p.acceptKeyword("DESC") {
+				oi.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, oi)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = e
+		if p.acceptKeyword("OFFSET") {
+			o, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.Offset = o
+		}
+	}
+	return sel, nil
+}
+
+func isStmtBoundary(word string) bool {
+	switch strings.ToUpper(word) {
+	case "SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER",
+		"VACUUM", "REINDEX", "ANALYZE", "PRAGMA":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseTableRef() (sqlast.TableRef, error) {
+	var tr sqlast.TableRef
+	if p.acceptKeyword("ONLY") {
+		tr.Only = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return tr, err
+	}
+	tr.Name = name
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return tr, err
+		}
+		tr.Alias = alias
+	} else if t := p.peek(); t.kind == tokIdent && !reservedAfterExpr[strings.ToUpper(t.text)] && !isStmtBoundary(t.text) {
+		tr.Alias = t.text
+		p.next()
+	}
+	return tr, nil
+}
+
+// ---- expression parsing, precedence climbing ----
+
+func (p *parser) parseExpr() (sqlast.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (sqlast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.acceptKeyword("OR") || (p.d.ConcatIsOr() && p.acceptOp("||")) {
+			r, err := p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.Binary{Op: sqlast.OpOr, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseAnd() (sqlast.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlast.Binary{Op: sqlast.OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (sqlast.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Unary{Op: sqlast.OpNot, X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]sqlast.BinOp{
+	"=": sqlast.OpEq, "==": sqlast.OpEq, "!=": sqlast.OpNe, "<>": sqlast.OpNe,
+	"<": sqlast.OpLt, "<=": sqlast.OpLe, ">": sqlast.OpGt, ">=": sqlast.OpGe,
+	"<=>": sqlast.OpNullSafeEq,
+}
+
+func (p *parser) parseCmp() (sqlast.Expr, error) {
+	l, err := p.parseBit()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp {
+			if op, ok := cmpOps[t.text]; ok {
+				p.next()
+				r, err := p.parseBit()
+				if err != nil {
+					return nil, err
+				}
+				l = &sqlast.Binary{Op: op, L: l, R: r}
+				continue
+			}
+			return l, nil
+		}
+		if t.kind != tokIdent {
+			return l, nil
+		}
+		switch strings.ToUpper(t.text) {
+		case "IS":
+			p.next()
+			isNot := p.acceptKeyword("NOT")
+			if p.acceptKeyword("NULL") {
+				if isNot {
+					l = &sqlast.Unary{Op: sqlast.OpNotNull, X: l}
+				} else {
+					l = &sqlast.Unary{Op: sqlast.OpIsNull, X: l}
+				}
+				continue
+			}
+			r, err := p.parseBit()
+			if err != nil {
+				return nil, err
+			}
+			if isNot {
+				l = &sqlast.Binary{Op: sqlast.OpIsNot, L: l, R: r}
+			} else {
+				l = &sqlast.Binary{Op: sqlast.OpIs, L: l, R: r}
+			}
+		case "ISNULL":
+			p.next()
+			l = &sqlast.Unary{Op: sqlast.OpIsNull, X: l}
+		case "NOTNULL":
+			p.next()
+			l = &sqlast.Unary{Op: sqlast.OpNotNull, X: l}
+		case "LIKE":
+			p.next()
+			r, err := p.parseBit()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.Binary{Op: sqlast.OpLike, L: l, R: r}
+		case "BETWEEN":
+			p.next()
+			lo, err := p.parseBit()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseBit()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.Between{X: l, Lo: lo, Hi: hi}
+		case "IN":
+			p.next()
+			in, err := p.parseInTail(l, false)
+			if err != nil {
+				return nil, err
+			}
+			l = in
+		case "NOT":
+			// postfix forms: NOT NULL, NOT LIKE, NOT BETWEEN, NOT IN
+			save := p.pos
+			p.next()
+			switch {
+			case p.acceptKeyword("NULL"):
+				l = &sqlast.Unary{Op: sqlast.OpNotNull, X: l}
+			case p.acceptKeyword("LIKE"):
+				r, err := p.parseBit()
+				if err != nil {
+					return nil, err
+				}
+				l = &sqlast.Binary{Op: sqlast.OpNotLike, L: l, R: r}
+			case p.acceptKeyword("BETWEEN"):
+				lo, err := p.parseBit()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseBit()
+				if err != nil {
+					return nil, err
+				}
+				l = &sqlast.Between{Not: true, X: l, Lo: lo, Hi: hi}
+			case p.acceptKeyword("IN"):
+				in, err := p.parseInTail(l, true)
+				if err != nil {
+					return nil, err
+				}
+				l = in
+			default:
+				p.pos = save
+				return l, nil
+			}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseInTail(x sqlast.Expr, not bool) (sqlast.Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	in := &sqlast.InList{X: x, Not: not}
+	if !p.acceptOp(")") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+var bitOps = map[string]sqlast.BinOp{
+	"&": sqlast.OpBitAnd, "|": sqlast.OpBitOr, "<<": sqlast.OpShl, ">>": sqlast.OpShr,
+}
+
+func (p *parser) parseBit() (sqlast.Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp {
+			if op, ok := bitOps[t.text]; ok {
+				p.next()
+				r, err := p.parseAdd()
+				if err != nil {
+					return nil, err
+				}
+				l = &sqlast.Binary{Op: op, L: l, R: r}
+				continue
+			}
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseAdd() (sqlast.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.Binary{Op: sqlast.OpAdd, L: l, R: r}
+		case p.acceptOp("-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.Binary{Op: sqlast.OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (sqlast.Expr, error) {
+	l, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("*"):
+			r, err := p.parseConcat()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.Binary{Op: sqlast.OpMul, L: l, R: r}
+		case p.acceptOp("/"):
+			r, err := p.parseConcat()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.Binary{Op: sqlast.OpDiv, L: l, R: r}
+		case p.acceptOp("%"):
+			r, err := p.parseConcat()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.Binary{Op: sqlast.OpMod, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseConcat() (sqlast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.d.ConcatIsOr() {
+		return l, nil // `||` handled at OR level for MySQL
+	}
+	for p.acceptOp("||") {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlast.Binary{Op: sqlast.OpConcat, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (sqlast.Expr, error) {
+	switch {
+	case p.acceptOp("-"):
+		// A minus directly before a numeric literal folds into it, so
+		// -9223372036854775808 stays an INTEGER (SQLite special-cases
+		// the most-negative int64 the same way) and negative reals
+		// round-trip as literals.
+		if t := p.peek(); t.kind == tokInt {
+			if i, err := strconv.ParseInt("-"+t.text, 10, 64); err == nil {
+				p.next()
+				return sqlast.Lit(sqlval.Int(i)), nil
+			}
+		} else if t.kind == tokFloat {
+			if f, err := strconv.ParseFloat("-"+t.text, 64); err == nil {
+				p.next()
+				return sqlast.Lit(sqlval.Real(f)), nil
+			}
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Unary{Op: sqlast.OpNeg, X: x}, nil
+	case p.acceptOp("+"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Unary{Op: sqlast.OpPos, X: x}, nil
+	case p.acceptOp("~"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Unary{Op: sqlast.OpBitNot, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (sqlast.Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("COLLATE") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		coll, ok := sqlval.ParseCollation(name)
+		if !ok {
+			return nil, errf(p.peek().pos, "unknown collation %q", name)
+		}
+		e = &sqlast.Collate{X: e, Coll: coll}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (sqlast.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		if i, _, ok := parseIntToken(t.text); ok {
+			return sqlast.Lit(sqlval.Int(i)), nil
+		}
+		f, _ := strconv.ParseFloat(t.text, 64)
+		return sqlast.Lit(sqlval.Real(f)), nil
+	case tokFloat:
+		p.next()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, errf(t.pos, "bad numeric literal %q", t.text)
+		}
+		return sqlast.Lit(sqlval.Real(f)), nil
+	case tokString:
+		p.next()
+		return sqlast.Lit(sqlval.Text(t.text)), nil
+	case tokBlob:
+		p.next()
+		return sqlast.Lit(sqlval.Blob([]byte(t.text))), nil
+	case tokDoubleQuoted:
+		p.next()
+		// Dialect-specific "..." semantics: MySQL (without ANSI_QUOTES)
+		// reads it as a string literal; SQLite resolves a column when one
+		// exists and silently falls back to a string (the Listing 8
+		// misfeature); PostgreSQL treats it strictly as an identifier.
+		if p.d == dialect.MySQL {
+			return sqlast.Lit(sqlval.Text(t.text)), nil
+		}
+		return &sqlast.ColumnRef{Column: t.text, MaybeString: p.d == dialect.SQLite}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, errf(t.pos, "unexpected token %q in expression", t.text)
+	case tokIdent:
+		word := strings.ToUpper(t.text)
+		switch word {
+		case "NULL":
+			p.next()
+			return sqlast.Lit(sqlval.Null()), nil
+		case "TRUE":
+			p.next()
+			if p.d == dialect.Postgres {
+				return sqlast.Lit(sqlval.Bool(true)), nil
+			}
+			return sqlast.Lit(sqlval.Int(1)), nil
+		case "FALSE":
+			p.next()
+			if p.d == dialect.Postgres {
+				return sqlast.Lit(sqlval.Bool(false)), nil
+			}
+			return sqlast.Lit(sqlval.Int(0)), nil
+		case "CAST":
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return nil, err
+			}
+			var words []string
+			for {
+				tt := p.peek()
+				if tt.kind != tokIdent {
+					break
+				}
+				words = append(words, tt.text)
+				p.next()
+			}
+			if len(words) == 0 {
+				return nil, errf(p.peek().pos, "expected type name in CAST")
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &sqlast.Cast{X: x, TypeName: strings.ToUpper(strings.Join(words, " "))}, nil
+		case "CASE":
+			p.next()
+			return p.parseCase()
+		}
+		if reservedAfterExpr[word] || isStmtBoundary(word) {
+			return nil, errf(t.pos, "unexpected keyword %q in expression", t.text)
+		}
+		p.next()
+		// Function call?
+		if p.acceptOp("(") {
+			fc := &sqlast.FuncCall{Name: word}
+			if !p.acceptOp(")") {
+				if p.acceptOp("*") {
+					// COUNT(*) — encode as zero-arg call.
+					if err := p.expectOp(")"); err != nil {
+						return nil, err
+					}
+					return fc, nil
+				}
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, e)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			return fc, nil
+		}
+		// Qualified column: ident.ident
+		if p.acceptOp(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return sqlast.Col(t.text, col), nil
+		}
+		return sqlast.Col("", t.text), nil
+	}
+	return nil, errf(t.pos, "unexpected token in expression")
+}
+
+func (p *parser) parseCase() (sqlast.Expr, error) {
+	c := &sqlast.Case{}
+	if !p.peekKeyword("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.acceptKeyword("WHEN") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		th, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, sqlast.WhenClause{When: w, Then: th})
+	}
+	if len(c.Whens) == 0 {
+		return nil, errf(p.peek().pos, "CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

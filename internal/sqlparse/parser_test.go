@@ -1,0 +1,369 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/sqlast"
+	"repro/internal/sqlval"
+)
+
+func mustParse(t *testing.T, src string, d dialect.Dialect) []sqlast.Stmt {
+	t.Helper()
+	stmts, err := Parse(src, d)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmts
+}
+
+func mustParseExpr(t *testing.T, src string, d dialect.Dialect) sqlast.Expr {
+	t.Helper()
+	e, err := ParseExpr(src, d)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+// Every listing from the paper must parse in its dialect.
+func TestPaperListingsParse(t *testing.T) {
+	cases := []struct {
+		d   dialect.Dialect
+		sql string
+	}{
+		{dialect.SQLite, `CREATE TABLE t0(c0);
+			CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL;
+			INSERT INTO t0(c0) VALUES (0), (1), (2), (3), (NULL);
+			SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1;`},
+		{dialect.SQLite, `SELECT '' - 2851427734582196970;`},
+		{dialect.MySQL, `SET GLOBAL key_cache_division_limit = 100;`},
+		{dialect.SQLite, `CREATE TABLE t0(c0 TEXT PRIMARY KEY) WITHOUT ROWID;
+			CREATE INDEX i0 ON t0(c1 COLLATE NOCASE);
+			INSERT INTO t0(c0) VALUES ('A');
+			INSERT INTO t0(c0) VALUES ('a');
+			SELECT * FROM t0;`},
+		{dialect.SQLite, `CREATE TABLE t0(c0 COLLATE RTRIM, c1 BLOB UNIQUE, PRIMARY KEY (c0, c1)) WITHOUT ROWID;
+			INSERT INTO t0 VALUES (123, 3), (' ', 1), ('      ', 2), ('', 4);
+			SELECT * FROM t0 WHERE c1 = 1;`},
+		{dialect.SQLite, `CREATE TABLE t1 (c1, c2, c3, c4, PRIMARY KEY (c4, c3));
+			INSERT INTO t1(c3) VALUES (0), (0), (0), (0), (0), (0), (0), (0), (0), (0), (NULL), (1), (0);
+			UPDATE t1 SET c2 = 0;
+			INSERT INTO t1(c1) VALUES (0), (0), (NULL), (0), (0);
+			ANALYZE t1;
+			UPDATE t1 SET c3 = 1;
+			SELECT DISTINCT * FROM t1 WHERE t1.c3 = 1;`},
+		{dialect.SQLite, `CREATE TABLE t0(c0 INT UNIQUE COLLATE NOCASE);
+			INSERT INTO t0(c0) VALUES ('./');
+			SELECT * FROM t0 WHERE t0.c0 LIKE './';`},
+		{dialect.SQLite, `CREATE TABLE t0(c1, c2);
+			INSERT INTO t0(c1, c2) VALUES ('a', 1);
+			CREATE INDEX i0 ON t0("C3");
+			ALTER TABLE t0 RENAME COLUMN c1 TO c3;
+			SELECT DISTINCT * FROM t0;`},
+		{dialect.SQLite, `CREATE TABLE test (c0);
+			CREATE INDEX index_0 ON test(c0 LIKE '');
+			PRAGMA case_sensitive_like=false;
+			VACUUM;
+			SELECT * from test;`},
+		{dialect.SQLite, `CREATE TABLE t1 (c0, c1 REAL PRIMARY KEY);
+			INSERT INTO t1(c0, c1) VALUES (TRUE, 9223372036854775807), (TRUE, 0);
+			UPDATE t1 SET c0 = NULL;
+			UPDATE OR REPLACE t1 SET c1 = 1;
+			SELECT DISTINCT * FROM t1 WHERE (t1.c0 IS NULL);`},
+		{dialect.MySQL, `CREATE TABLE t0(c0 INT);
+			CREATE TABLE t1(c0 INT) ENGINE = MEMORY;
+			INSERT INTO t0(c0) VALUES (0);
+			INSERT INTO t1(c0) VALUES (-1);
+			SELECT * FROM t0, t1 WHERE (CAST(t1.c0 AS UNSIGNED)) > (IFNULL("u", t0.c0));`},
+		{dialect.MySQL, `CREATE TABLE t0(c0 TINYINT);
+			INSERT INTO t0(c0) VALUES(NULL);
+			SELECT * FROM t0 WHERE NOT(t0.c0 <=> 2035382037);`},
+		{dialect.MySQL, `CREATE TABLE t0(c0 INT);
+			INSERT INTO t0(c0) VALUES (1);
+			SELECT * FROM t0 WHERE 123 != (NOT (NOT 123));`},
+		{dialect.MySQL, `CREATE TABLE t0(c0 INT);
+			CREATE INDEX i0 ON t0((t0.c0 || 1));
+			INSERT INTO t0(c0) VALUES (1);
+			CHECK TABLE t0 FOR UPGRADE;`},
+		{dialect.Postgres, `CREATE TABLE t0(c0 INT PRIMARY KEY, c1 INT);
+			CREATE TABLE t1(c0 INT) INHERITS (t0);
+			INSERT INTO t0(c0, c1) VALUES(0, 0);
+			INSERT INTO t1(c0, c1) VALUES(0, 1);
+			SELECT c0, c1 FROM t0 GROUP BY c0, c1;`},
+		{dialect.Postgres, `CREATE TABLE t0(c0 serial, c1 boolean);
+			CREATE STATISTICS s1 ON c0, c1 FROM t0;
+			INSERT INTO t0(c1) VALUES(TRUE);
+			ANALYZE;
+			CREATE INDEX i0 ON t0(c0, (t0.c1 AND t0.c1));
+			SELECT * FROM t0 WHERE (((t0.c1) AND (t0.c1)) OR FALSE) IS TRUE;`},
+		{dialect.Postgres, `CREATE TABLE t0(c0 TEXT);
+			INSERT INTO t0(c0) VALUES('b'), ('a');
+			ANALYZE;
+			INSERT INTO t0(c0) VALUES (NULL);
+			UPDATE t0 SET c0 = 'a';
+			CREATE INDEX i0 ON t0(c0);
+			SELECT * FROM t0 WHERE 'baaaaaaaaaaaaaaaaa' > t0.c0;`},
+		{dialect.Postgres, `CREATE TABLE t1(c0 int);
+			INSERT INTO t1(c0) VALUES (2147483647);
+			UPDATE t1 SET c0 = 0;
+			CREATE INDEX i0 ON t1((1 + t1.c0));
+			VACUUM FULL;`},
+	}
+	for i, c := range cases {
+		if _, err := Parse(c.sql, c.d); err != nil {
+			t.Errorf("case %d (%s): %v", i, c.d, err)
+		}
+	}
+}
+
+func TestParseStatementShapes(t *testing.T) {
+	stmts := mustParse(t, `CREATE TABLE t0(c0 TEXT PRIMARY KEY) WITHOUT ROWID`, dialect.SQLite)
+	ct := stmts[0].(*sqlast.CreateTable)
+	if !ct.WithoutRowid || !ct.Columns[0].PrimaryKey || ct.Columns[0].TypeName != "TEXT" {
+		t.Errorf("create table shape: %+v", ct)
+	}
+
+	stmts = mustParse(t, `CREATE UNIQUE INDEX IF NOT EXISTS i0 ON t0(c0 COLLATE NOCASE DESC, (c1 + 1)) WHERE c0 NOT NULL`, dialect.SQLite)
+	ci := stmts[0].(*sqlast.CreateIndex)
+	if !ci.Unique || !ci.IfNotExists || len(ci.Parts) != 2 || ci.Parts[0].Collate != "NOCASE" || !ci.Parts[0].Desc || ci.Where == nil {
+		t.Errorf("create index shape: %+v", ci)
+	}
+	if u, ok := ci.Where.(*sqlast.Unary); !ok || u.Op != sqlast.OpNotNull {
+		t.Errorf("partial index predicate should be NOTNULL, got %T", ci.Where)
+	}
+
+	stmts = mustParse(t, `INSERT OR REPLACE INTO t0(c0, c1) VALUES (1, 'x'), (NULL, x'ff')`, dialect.SQLite)
+	ins := stmts[0].(*sqlast.Insert)
+	if ins.Conflict != sqlast.ConflictReplace || len(ins.Rows) != 2 || len(ins.Rows[0]) != 2 {
+		t.Errorf("insert shape: %+v", ins)
+	}
+	if lit := ins.Rows[1][1].(*sqlast.Literal); lit.Val.Kind() != sqlval.KBlob {
+		t.Errorf("blob literal not parsed: %v", lit.Val)
+	}
+
+	stmts = mustParse(t, `UPDATE OR REPLACE t1 SET c1 = 1, c0 = NULL WHERE c0 > 2`, dialect.SQLite)
+	up := stmts[0].(*sqlast.Update)
+	if up.Conflict != sqlast.ConflictReplace || len(up.Sets) != 2 || up.Where == nil {
+		t.Errorf("update shape: %+v", up)
+	}
+
+	stmts = mustParse(t, `DELETE FROM t0 WHERE c0 IS NULL`, dialect.SQLite)
+	del := stmts[0].(*sqlast.Delete)
+	if del.Table != "t0" || del.Where == nil {
+		t.Errorf("delete shape: %+v", del)
+	}
+
+	stmts = mustParse(t, `ALTER TABLE t0 RENAME COLUMN c1 TO c3`, dialect.SQLite)
+	at := stmts[0].(*sqlast.AlterTable)
+	if at.Action != sqlast.AlterRenameColumn || at.OldName != "c1" || at.NewName != "c3" {
+		t.Errorf("alter shape: %+v", at)
+	}
+
+	stmts = mustParse(t, `DROP INDEX IF EXISTS i0`, dialect.SQLite)
+	dr := stmts[0].(*sqlast.Drop)
+	if dr.Obj != sqlast.DropIndex || !dr.IfExists {
+		t.Errorf("drop shape: %+v", dr)
+	}
+
+	stmts = mustParse(t, `CREATE VIEW v0 AS SELECT c0 FROM t0`, dialect.SQLite)
+	cv := stmts[0].(*sqlast.CreateView)
+	if cv.Name != "v0" || cv.Select == nil {
+		t.Errorf("view shape: %+v", cv)
+	}
+}
+
+func TestParseSelectClauses(t *testing.T) {
+	sel := mustParse(t, `SELECT DISTINCT t0.c0 AS a, * FROM t0, t1 AS x LEFT JOIN t2 ON t2.c0 = t0.c0 WHERE t0.c0 > 1 GROUP BY t0.c0, t0.c1 HAVING t0.c0 < 10 ORDER BY t0.c0 DESC, t0.c1 LIMIT 5 OFFSET 2`,
+		dialect.SQLite)[0].(*sqlast.Select)
+	if !sel.Distinct || len(sel.Cols) != 2 || sel.Cols[0].Alias != "a" || !sel.Cols[1].Star {
+		t.Errorf("select cols: %+v", sel.Cols)
+	}
+	if len(sel.From) != 2 || sel.From[1].Alias != "x" {
+		t.Errorf("select from: %+v", sel.From)
+	}
+	if len(sel.Joins) != 1 || sel.Joins[0].Kind != sqlast.JoinLeft || sel.Joins[0].On == nil {
+		t.Errorf("select joins: %+v", sel.Joins)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 2 || sel.Having == nil {
+		t.Errorf("select where/group/having missing")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("select order: %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || sel.Offset == nil {
+		t.Errorf("select limit/offset missing")
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	e := mustParseExpr(t, `1 + 2 * 3`, dialect.SQLite)
+	b := e.(*sqlast.Binary)
+	if b.Op != sqlast.OpAdd {
+		t.Fatalf("top op should be +, got %v", b.Op)
+	}
+	if r := b.R.(*sqlast.Binary); r.Op != sqlast.OpMul {
+		t.Errorf("rhs should be *")
+	}
+
+	e = mustParseExpr(t, `NOT a = b`, dialect.SQLite)
+	if u, ok := e.(*sqlast.Unary); !ok || u.Op != sqlast.OpNot {
+		t.Errorf("NOT should bind looser than =")
+	}
+
+	e = mustParseExpr(t, `a OR b AND c`, dialect.SQLite)
+	if b := e.(*sqlast.Binary); b.Op != sqlast.OpOr {
+		t.Errorf("OR should be top")
+	}
+
+	e = mustParseExpr(t, `a < b = c`, dialect.SQLite)
+	if b := e.(*sqlast.Binary); b.Op != sqlast.OpEq {
+		t.Errorf("left-assoc comparison chain: top should be =, got %v", b.Op)
+	}
+
+	// MySQL: || is OR.
+	e = mustParseExpr(t, `a || b`, dialect.MySQL)
+	if b := e.(*sqlast.Binary); b.Op != sqlast.OpOr {
+		t.Errorf("mysql || should parse as OR, got %v", b.Op)
+	}
+	// SQLite: || is concat and binds tighter than +.
+	e = mustParseExpr(t, `a + b || c`, dialect.SQLite)
+	if b := e.(*sqlast.Binary); b.Op != sqlast.OpAdd {
+		t.Errorf("sqlite + should be top over ||, got %v", b.Op)
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	cases := []string{
+		`c0 IS NOT 1`,
+		`c0 ISNULL`,
+		`c0 NOTNULL`,
+		`c0 NOT NULL`,
+		`c0 IS NOT NULL`,
+		`c0 BETWEEN 1 AND 5`,
+		`c0 NOT BETWEEN -1 AND +1`,
+		`c0 IN (1, 2, NULL)`,
+		`c0 NOT IN ()`,
+		`c0 LIKE 'a%' `,
+		`c0 NOT LIKE '_b'`,
+		`CAST(c0 AS INTEGER)`,
+		`CASE WHEN c0 THEN 1 ELSE 0 END`,
+		`CASE c0 WHEN 1 THEN 'a' WHEN 2 THEN 'b' END`,
+		`ABS(-5)`,
+		`COUNT(*)`,
+		`c0 COLLATE NOCASE`,
+		`~ c0`,
+		`x'00ff'`,
+		`3.5e-2`,
+		`t0.c0 & 7 | 1 << 2 >> 1`,
+	}
+	for _, src := range cases {
+		mustParseExpr(t, src, dialect.SQLite)
+	}
+}
+
+func TestDoubleQuotedBehaviour(t *testing.T) {
+	e := mustParseExpr(t, `"C3"`, dialect.SQLite)
+	c := e.(*sqlast.ColumnRef)
+	if !c.MaybeString || c.Column != "C3" {
+		t.Errorf("sqlite double-quoted: %+v", c)
+	}
+	e = mustParseExpr(t, `"u"`, dialect.MySQL)
+	if lit, ok := e.(*sqlast.Literal); !ok || lit.Val.Str() != "u" {
+		t.Errorf("mysql double-quoted should be a string literal, got %#v", e)
+	}
+	e = mustParseExpr(t, `"c0"`, dialect.Postgres)
+	if c, ok := e.(*sqlast.ColumnRef); !ok || c.MaybeString {
+		t.Errorf("postgres double-quoted should be a strict identifier, got %#v", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`SELEC 1`,
+		`SELECT FROM`,
+		`CREATE TABLE`,
+		`INSERT INTO t VALUES`,
+		`SELECT 'unterminated`,
+		`SELECT x'0g'`,
+		`SELECT x'0'`,
+		`SELECT (1`,
+		`SELECT 1 2 3 FROM`,
+		`DROP SOMETHING t`,
+		`CREATE TABLE t(c0 CHECK (`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, dialect.SQLite); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	stmts := mustParse(t, `
+		-- leading comment
+		SELECT 1; /* block
+		comment */ SELECT 2 -- trailing
+	`, dialect.SQLite)
+	if len(stmts) != 2 {
+		t.Fatalf("expected 2 statements, got %d", len(stmts))
+	}
+}
+
+func TestIntegerOverflowBecomesReal(t *testing.T) {
+	e := mustParseExpr(t, `99999999999999999999999999`, dialect.SQLite)
+	lit := e.(*sqlast.Literal)
+	if lit.Val.Kind() != sqlval.KReal {
+		t.Errorf("overflowing integer literal should become REAL, got %v", lit.Val.Kind())
+	}
+}
+
+// Round-trip: render → parse → render must be a fixpoint for a sample of
+// statements in every dialect.
+func TestRenderParseRoundTrip(t *testing.T) {
+	srcs := map[dialect.Dialect][]string{
+		dialect.SQLite: {
+			`CREATE TABLE t0(c0, c1 TEXT UNIQUE NOT NULL COLLATE NOCASE)`,
+			`CREATE INDEX i0 ON t0(c0 COLLATE RTRIM DESC) WHERE (c0 IS NOT NULL)`,
+			`SELECT DISTINCT * FROM t0 WHERE ((t0.c0 > 3) AND (NOT t0.c1)) ORDER BY t0.c0 DESC LIMIT 10`,
+			`INSERT OR IGNORE INTO t0(c0) VALUES (1), (NULL)`,
+			`UPDATE OR REPLACE t0 SET c0 = (c0 + 1) WHERE (c0 IS NULL)`,
+			`PRAGMA case_sensitive_like = 1`,
+		},
+		dialect.MySQL: {
+			`CREATE TABLE t1(c0 INT UNSIGNED) ENGINE = MEMORY`,
+			`SELECT * FROM t0, t1 WHERE (CAST(t1.c0 AS UNSIGNED) > IFNULL('u', t0.c0))`,
+			`SET GLOBAL key_cache_division_limit = 100`,
+			`CHECK TABLE t0 FOR UPGRADE`,
+		},
+		dialect.Postgres: {
+			`CREATE TABLE t1(c0 INT) INHERITS (t0)`,
+			`CREATE STATISTICS s1 ON c0, c1 FROM t0`,
+			`VACUUM FULL`,
+			`SELECT c0, c1 FROM t0 GROUP BY c0, c1`,
+		},
+	}
+	for d, list := range srcs {
+		for _, src := range list {
+			s1, err := ParseOne(src, d)
+			if err != nil {
+				t.Errorf("%s: parse %q: %v", d, src, err)
+				continue
+			}
+			r1 := sqlast.SQL(s1, d)
+			s2, err := ParseOne(r1, d)
+			if err != nil {
+				t.Errorf("%s: reparse %q: %v", d, r1, err)
+				continue
+			}
+			r2 := sqlast.SQL(s2, d)
+			if r1 != r2 {
+				t.Errorf("%s: round trip not stable:\n  %s\n  %s", d, r1, r2)
+			}
+			if !strings.EqualFold(s1.Kind(), s2.Kind()) {
+				t.Errorf("%s: kind changed in round trip", d)
+			}
+		}
+	}
+}

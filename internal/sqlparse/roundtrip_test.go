@@ -1,0 +1,74 @@
+package sqlparse_test
+
+// External test package: it imports the PQS generator, which transitively
+// depends on sqlparse through the engine, so the property test must live
+// outside the sqlparse package proper.
+
+import (
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+// Property: for any generated expression, render → parse → render is a
+// fixpoint, and parsing never fails. This pins the renderer and parser to
+// each other — PQS depends on the engine reading back exactly what the
+// generator meant.
+func TestGeneratedExpressionRoundTrip(t *testing.T) {
+	cols := []gen.ColumnPick{
+		{Table: "t0", Column: schema.ColumnInfo{Name: "c0", TypeName: "INT"}},
+		{Table: "t0", Column: schema.ColumnInfo{Name: "c1", TypeName: "TEXT"}},
+		{Table: "t1", Column: schema.ColumnInfo{Name: "c0", TypeName: "BOOLEAN"}},
+	}
+	for _, d := range dialect.All {
+		eg := &gen.ExprGen{Rnd: gen.NewRand(d, 123), Cols: cols, MaxDepth: 4}
+		for i := 0; i < 3000; i++ {
+			e := eg.Generate()
+			sql1 := sqlast.ExprSQL(e, d)
+			parsed, err := sqlparse.ParseExpr(sql1, d)
+			if err != nil {
+				t.Fatalf("[%s] generated expression does not parse: %q: %v", d, sql1, err)
+			}
+			sql2 := sqlast.ExprSQL(parsed, d)
+			if sql1 != sql2 {
+				// One legitimate normalization: prefix minus folding into
+				// integer literals. Re-parse must then be stable.
+				parsed2, err := sqlparse.ParseExpr(sql2, d)
+				if err != nil || sqlast.ExprSQL(parsed2, d) != sql2 {
+					t.Fatalf("[%s] round trip unstable:\n  %s\n  %s", d, sql1, sql2)
+				}
+			}
+		}
+	}
+}
+
+// Property: every statement the state generator produces parses back to
+// SQL that renders identically (full statement-level round trip).
+func TestGeneratedStatementRoundTrip(t *testing.T) {
+	for _, d := range dialect.All {
+		for seed := int64(0); seed < 15; seed++ {
+			e := engine.Open(d)
+			sg := &gen.StateGen{Rnd: gen.NewRand(d, seed), E: e}
+			err := sg.BuildDatabase(func(st sqlast.Stmt) error {
+				sql1 := sqlast.SQL(st, d)
+				parsed, perr := sqlparse.ParseOne(sql1, d)
+				if perr != nil {
+					t.Fatalf("[%s] generated statement does not parse: %q: %v", d, sql1, perr)
+				}
+				if sql2 := sqlast.SQL(parsed, d); sql2 != sql1 {
+					t.Fatalf("[%s] statement round trip changed:\n  %s\n  %s", d, sql1, sql2)
+				}
+				_, _ = e.Exec(sql1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package sqlval
+
+import "strings"
+
+// Collation selects how TEXT values compare and sort. The three collations
+// are SQLite's built-ins; several bugs in the paper (Listings 4 and 5)
+// involve NOCASE and RTRIM interacting with indexes.
+type Collation uint8
+
+const (
+	// CollBinary compares bytes exactly (the default everywhere).
+	CollBinary Collation = iota
+	// CollNoCase folds ASCII case before comparing.
+	CollNoCase
+	// CollRTrim ignores trailing spaces.
+	CollRTrim
+)
+
+// String returns the SQL spelling of the collation.
+func (c Collation) String() string {
+	switch c {
+	case CollBinary:
+		return "BINARY"
+	case CollNoCase:
+		return "NOCASE"
+	case CollRTrim:
+		return "RTRIM"
+	default:
+		return "BINARY"
+	}
+}
+
+// ParseCollation resolves a collation name case-insensitively. Unknown
+// names report ok=false so callers can raise the dialect's error.
+func ParseCollation(name string) (Collation, bool) {
+	switch strings.ToUpper(name) {
+	case "BINARY":
+		return CollBinary, true
+	case "NOCASE":
+		return CollNoCase, true
+	case "RTRIM":
+		return CollRTrim, true
+	}
+	return CollBinary, false
+}
+
+// CollCompare compares two strings under the collation, returning -1, 0, 1.
+func CollCompare(a, b string, c Collation) int {
+	switch c {
+	case CollNoCase:
+		a = foldASCII(a)
+		b = foldASCII(b)
+	case CollRTrim:
+		a = strings.TrimRight(a, " ")
+		b = strings.TrimRight(b, " ")
+	}
+	return strings.Compare(a, b)
+}
+
+// foldASCII lowercases ASCII letters only, matching SQLite's NOCASE, which
+// does not fold non-ASCII characters.
+func foldASCII(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

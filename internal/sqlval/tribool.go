@@ -1,0 +1,95 @@
+package sqlval
+
+// TriBool is SQL's three-valued logic domain. The rectification step of PQS
+// (Algorithm 3 in the paper) dispatches on this type: TRUE expressions are
+// used as-is, FALSE expressions are wrapped in NOT, and UNKNOWN (NULL)
+// expressions are wrapped in IS NULL.
+type TriBool uint8
+
+const (
+	// TriFalse is SQL FALSE.
+	TriFalse TriBool = iota
+	// TriTrue is SQL TRUE.
+	TriTrue
+	// TriUnknown is SQL NULL in boolean context.
+	TriUnknown
+)
+
+// String renders the logic value as SQL spells it.
+func (t TriBool) String() string {
+	switch t {
+	case TriFalse:
+		return "FALSE"
+	case TriTrue:
+		return "TRUE"
+	default:
+		return "NULL"
+	}
+}
+
+// TriOf converts a Go bool into the corresponding TriBool.
+func TriOf(b bool) TriBool {
+	if b {
+		return TriTrue
+	}
+	return TriFalse
+}
+
+// Not implements three-valued negation: NOT NULL is NULL.
+func (t TriBool) Not() TriBool {
+	switch t {
+	case TriTrue:
+		return TriFalse
+	case TriFalse:
+		return TriTrue
+	default:
+		return TriUnknown
+	}
+}
+
+// And implements three-valued conjunction: FALSE dominates NULL.
+func (t TriBool) And(o TriBool) TriBool {
+	if t == TriFalse || o == TriFalse {
+		return TriFalse
+	}
+	if t == TriUnknown || o == TriUnknown {
+		return TriUnknown
+	}
+	return TriTrue
+}
+
+// Or implements three-valued disjunction: TRUE dominates NULL.
+func (t TriBool) Or(o TriBool) TriBool {
+	if t == TriTrue || o == TriTrue {
+		return TriTrue
+	}
+	if t == TriUnknown || o == TriUnknown {
+		return TriUnknown
+	}
+	return TriFalse
+}
+
+// Value converts the TriBool into a SQL value: TRUE→1, FALSE→0,
+// UNKNOWN→NULL, using the integer encoding shared by SQLite and MySQL.
+func (t TriBool) Value() Value {
+	switch t {
+	case TriTrue:
+		return Int(1)
+	case TriFalse:
+		return Int(0)
+	default:
+		return Null()
+	}
+}
+
+// BoolValue is like Value but produces a KBool (PostgreSQL encoding).
+func (t TriBool) BoolValue() Value {
+	switch t {
+	case TriTrue:
+		return Bool(true)
+	case TriFalse:
+		return Bool(false)
+	default:
+		return Null()
+	}
+}

@@ -1,0 +1,269 @@
+// Package sqlval defines the SQL value domain shared by the engine
+// substrate and the PQS testing stack: dynamically-typed values, SQL
+// three-valued logic, collations, and SQLite-style type affinity.
+//
+// The package deliberately contains only the *data model*. Operator
+// semantics (arithmetic, comparison in expressions, LIKE, casts) are
+// implemented twice and independently — once in the engine's evaluator
+// (internal/eval) and once in the PQS oracle interpreter (internal/interp) —
+// so that an injected engine bug cannot silently infect the oracle.
+package sqlval
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind is the runtime storage class of a Value.
+type Kind uint8
+
+const (
+	// KNull is the SQL NULL value.
+	KNull Kind = iota
+	// KInt is a signed 64-bit integer.
+	KInt
+	// KUint is an unsigned 64-bit integer (MySQL dialect only).
+	KUint
+	// KReal is a 64-bit IEEE float.
+	KReal
+	// KText is a character string.
+	KText
+	// KBlob is a byte string.
+	KBlob
+	// KBool is a true boolean (PostgreSQL dialect; SQLite and MySQL
+	// store booleans as integers).
+	KBool
+)
+
+// String returns the storage-class name, matching SQLite's typeof() output
+// where applicable.
+func (k Kind) String() string {
+	switch k {
+	case KNull:
+		return "null"
+	case KInt:
+		return "integer"
+	case KUint:
+		return "unsigned"
+	case KReal:
+		return "real"
+	case KText:
+		return "text"
+	case KBlob:
+		return "blob"
+	case KBool:
+		return "boolean"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically-typed SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	u    uint64
+	f    float64
+	s    string
+	b    []byte
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KInt, i: i} }
+
+// Uint returns an unsigned integer value (MySQL).
+func Uint(u uint64) Value { return Value{kind: KUint, u: u} }
+
+// Real returns a floating-point value.
+func Real(f float64) Value { return Value{kind: KReal, f: f} }
+
+// Text returns a text value.
+func Text(s string) Value { return Value{kind: KText, s: s} }
+
+// Blob returns a blob value. The slice is not copied.
+func Blob(b []byte) Value { return Value{kind: KBlob, b: b} }
+
+// Bool returns a boolean value (PostgreSQL dialect).
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KBool, i: i}
+}
+
+// Kind reports the storage class.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KNull }
+
+// Int64 returns the integer payload. Valid only for KInt and KBool.
+func (v Value) Int64() int64 { return v.i }
+
+// Uint64 returns the unsigned payload. Valid only for KUint.
+func (v Value) Uint64() uint64 { return v.u }
+
+// Float64 returns the float payload. Valid only for KReal.
+func (v Value) Float64() float64 { return v.f }
+
+// Str returns the text payload. Valid only for KText.
+func (v Value) Str() string { return v.s }
+
+// Bytes returns the blob payload. Valid only for KBlob.
+func (v Value) Bytes() []byte { return v.b }
+
+// BoolVal returns the boolean payload. Valid only for KBool.
+func (v Value) BoolVal() bool { return v.i != 0 }
+
+// IsNumeric reports whether the value is an integer, unsigned, or real.
+func (v Value) IsNumeric() bool {
+	return v.kind == KInt || v.kind == KUint || v.kind == KReal
+}
+
+// AsFloat converts any numeric value (including KBool) to float64.
+// It must not be called on non-numeric kinds.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KInt, KBool:
+		return float64(v.i)
+	case KUint:
+		return float64(v.u)
+	case KReal:
+		return v.f
+	default:
+		panic("sqlval: AsFloat on non-numeric " + v.kind.String())
+	}
+}
+
+// Equal reports exact, type-sensitive equality between two values, with
+// integer/real cross-type numeric equality (1 == 1.0). It implements the
+// comparison the containment oracle uses when locating the pivot row in a
+// result set; NULL equals NULL here (identity, not SQL equality).
+func (v Value) Equal(o Value) bool {
+	if v.kind == KNull || o.kind == KNull {
+		return v.kind == o.kind
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		return numericEqual(v, o)
+	}
+	if v.kind != o.kind {
+		// Booleans compare equal to their integer encoding so that a
+		// pivot row captured as BOOL matches an engine echo as INT.
+		if (v.kind == KBool && o.kind == KInt) || (v.kind == KInt && o.kind == KBool) {
+			return v.i == o.i
+		}
+		return false
+	}
+	switch v.kind {
+	case KText:
+		return v.s == o.s
+	case KBlob:
+		return string(v.b) == string(o.b)
+	case KBool:
+		return (v.i != 0) == (o.i != 0)
+	default:
+		panic("sqlval: unreachable Equal")
+	}
+}
+
+func numericEqual(a, b Value) bool {
+	if a.kind == KInt && b.kind == KInt {
+		return a.i == b.i
+	}
+	if a.kind == KUint && b.kind == KUint {
+		return a.u == b.u
+	}
+	if a.kind == KInt && b.kind == KUint {
+		return a.i >= 0 && uint64(a.i) == b.u
+	}
+	if a.kind == KUint && b.kind == KInt {
+		return b.i >= 0 && uint64(b.i) == a.u
+	}
+	return a.AsFloat() == b.AsFloat()
+}
+
+// Literal renders the value as a SQL literal parseable by the engine's
+// parser in every dialect.
+func (v Value) Literal() string {
+	switch v.kind {
+	case KNull:
+		return "NULL"
+	case KInt:
+		return strconv.FormatInt(v.i, 10)
+	case KUint:
+		return strconv.FormatUint(v.u, 10)
+	case KReal:
+		return FormatReal(v.f)
+	case KText:
+		return QuoteText(v.s)
+	case KBlob:
+		return "x'" + hexEncode(v.b) + "'"
+	case KBool:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		panic("sqlval: unreachable Literal")
+	}
+}
+
+// FormatReal renders a float the way the engine echoes it: always with an
+// exponent or decimal point so it re-parses as a real, never an integer.
+func FormatReal(f float64) string {
+	if math.IsInf(f, 1) {
+		return "9e999"
+	}
+	if math.IsInf(f, -1) {
+		return "-9e999"
+	}
+	if math.IsNaN(f) {
+		return "NULL"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// QuoteText renders s as a single-quoted SQL string literal.
+func QuoteText(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+func hexEncode(b []byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 0, len(b)*2)
+	for _, c := range b {
+		out = append(out, digits[c>>4], digits[c&0xf])
+	}
+	return string(out)
+}
+
+// String implements fmt.Stringer with a debugging-friendly rendering.
+func (v Value) String() string {
+	if v.kind == KBlob {
+		return fmt.Sprintf("x'%s'", hexEncode(v.b))
+	}
+	return v.Literal()
+}
+
+// Display renders the value the way a result-set row prints it (bare text,
+// no quotes), matching the `c0|c1` style of the paper's listings.
+func (v Value) Display() string {
+	switch v.kind {
+	case KNull:
+		return ""
+	case KText:
+		return v.s
+	default:
+		return v.Literal()
+	}
+}

@@ -1,0 +1,213 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlval"
+)
+
+func TestTableDataInsertDelete(t *testing.T) {
+	td := NewTableData()
+	r1 := td.Insert([]sqlval.Value{sqlval.Int(1)})
+	r2 := td.Insert([]sqlval.Value{sqlval.Int(2)})
+	if r1.Rowid != 1 || r2.Rowid != 2 || td.Len() != 2 {
+		t.Fatalf("rowids %d,%d len %d", r1.Rowid, r2.Rowid, td.Len())
+	}
+	if got, ok := td.Get(1); !ok || !got.Vals[0].Equal(sqlval.Int(1)) {
+		t.Error("Get(1) failed")
+	}
+	if !td.Delete(1) || td.Delete(1) {
+		t.Error("Delete semantics wrong")
+	}
+	if td.Len() != 1 || td.Rows()[0].Rowid != 2 {
+		t.Error("post-delete state wrong")
+	}
+	r3 := td.Insert([]sqlval.Value{sqlval.Int(3)})
+	if r3.Rowid != 3 {
+		t.Errorf("rowid should not be reused, got %d", r3.Rowid)
+	}
+}
+
+func TestInsertWithRowid(t *testing.T) {
+	td := NewTableData()
+	if _, ok := td.InsertWithRowid(10, []sqlval.Value{sqlval.Int(1)}); !ok {
+		t.Fatal("explicit rowid insert failed")
+	}
+	if _, ok := td.InsertWithRowid(10, []sqlval.Value{sqlval.Int(2)}); ok {
+		t.Fatal("duplicate rowid should fail")
+	}
+	r := td.Insert([]sqlval.Value{sqlval.Int(3)})
+	if r.Rowid != 11 {
+		t.Errorf("next rowid after explicit 10 should be 11, got %d", r.Rowid)
+	}
+}
+
+func TestDeleteLast(t *testing.T) {
+	td := NewTableData()
+	if td.DeleteLast() {
+		t.Error("DeleteLast on empty table should be false")
+	}
+	td.Insert([]sqlval.Value{sqlval.Int(1)})
+	td.Insert([]sqlval.Value{sqlval.Int(2)})
+	if !td.DeleteLast() || td.Len() != 1 || td.Rows()[0].Rowid != 1 {
+		t.Error("DeleteLast should remove highest rowid")
+	}
+}
+
+func TestAddColumn(t *testing.T) {
+	td := NewTableData()
+	td.Insert([]sqlval.Value{sqlval.Int(1)})
+	td.AddColumn(sqlval.Null())
+	if len(td.Rows()[0].Vals) != 2 || !td.Rows()[0].Vals[1].IsNull() {
+		t.Error("AddColumn should extend rows with default")
+	}
+}
+
+func TestIndexSortedOrder(t *testing.T) {
+	ix := NewIndexData([]sqlval.Collation{sqlval.CollBinary}, []bool{false})
+	keys := []int64{5, 1, 3, 2, 4, 3}
+	for i, k := range keys {
+		ix.Insert([]sqlval.Value{sqlval.Int(k)}, int64(i+1))
+	}
+	prev := []sqlval.Value(nil)
+	for _, e := range ix.Entries() {
+		if prev != nil && ix.CompareKeys(prev, e.Key) > 0 {
+			t.Fatalf("entries out of order")
+		}
+		prev = e.Key
+	}
+	if got := ix.Equal([]sqlval.Value{sqlval.Int(3)}); len(got) != 2 {
+		t.Errorf("Equal(3) = %v, want 2 rowids", got)
+	}
+	if got := ix.Equal([]sqlval.Value{sqlval.Int(9)}); len(got) != 0 {
+		t.Errorf("Equal(9) = %v, want none", got)
+	}
+}
+
+func TestIndexCollation(t *testing.T) {
+	ix := NewIndexData([]sqlval.Collation{sqlval.CollNoCase}, []bool{false})
+	ix.Insert([]sqlval.Value{sqlval.Text("A")}, 1)
+	ix.Insert([]sqlval.Value{sqlval.Text("a")}, 2)
+	got := ix.Equal([]sqlval.Value{sqlval.Text("a")})
+	if len(got) != 2 {
+		t.Errorf("NOCASE Equal should match both cases, got %v", got)
+	}
+	bin := NewIndexData([]sqlval.Collation{sqlval.CollBinary}, []bool{false})
+	bin.Insert([]sqlval.Value{sqlval.Text("A")}, 1)
+	bin.Insert([]sqlval.Value{sqlval.Text("a")}, 2)
+	if got := bin.Equal([]sqlval.Value{sqlval.Text("a")}); len(got) != 1 {
+		t.Errorf("BINARY Equal should match one, got %v", got)
+	}
+}
+
+func TestIndexDescOrdering(t *testing.T) {
+	ix := NewIndexData([]sqlval.Collation{sqlval.CollBinary}, []bool{true})
+	for _, k := range []int64{1, 3, 2} {
+		ix.Insert([]sqlval.Value{sqlval.Int(k)}, k)
+	}
+	es := ix.Entries()
+	if !(es[0].Key[0].Equal(sqlval.Int(3)) && es[2].Key[0].Equal(sqlval.Int(1))) {
+		t.Errorf("DESC index should sort descending: %v", es)
+	}
+	if got := ix.Equal([]sqlval.Value{sqlval.Int(2)}); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Equal on DESC index = %v", got)
+	}
+}
+
+func TestIndexDelete(t *testing.T) {
+	ix := NewIndexData([]sqlval.Collation{sqlval.CollBinary}, []bool{false})
+	ix.Insert([]sqlval.Value{sqlval.Int(1)}, 1)
+	ix.Insert([]sqlval.Value{sqlval.Int(1)}, 2)
+	if !ix.Delete([]sqlval.Value{sqlval.Int(1)}, 2) {
+		t.Fatal("Delete should find entry")
+	}
+	if ix.Len() != 1 || ix.Entries()[0].Rowid != 1 {
+		t.Error("wrong entry deleted")
+	}
+	// Stale-key delete falls back to rowid scan.
+	if !ix.Delete([]sqlval.Value{sqlval.Int(99)}, 1) {
+		t.Error("stale-key delete should still remove by rowid")
+	}
+	if ix.Len() != 0 {
+		t.Error("index should be empty")
+	}
+	if ix.Delete([]sqlval.Value{sqlval.Int(1)}, 7) {
+		t.Error("deleting absent entry should be false")
+	}
+}
+
+func TestDeleteRowid(t *testing.T) {
+	ix := NewIndexData(nil, nil)
+	ix.Insert([]sqlval.Value{sqlval.Int(1)}, 5)
+	ix.Insert([]sqlval.Value{sqlval.Int(2)}, 5)
+	ix.Insert([]sqlval.Value{sqlval.Int(3)}, 6)
+	if n := ix.DeleteRowid(5); n != 2 || ix.Len() != 1 {
+		t.Errorf("DeleteRowid removed %d, len %d", n, ix.Len())
+	}
+}
+
+func TestEqualPrefix(t *testing.T) {
+	ix := NewIndexData([]sqlval.Collation{sqlval.CollBinary, sqlval.CollBinary}, []bool{false, false})
+	ix.Insert([]sqlval.Value{sqlval.Int(1), sqlval.Int(10)}, 1)
+	ix.Insert([]sqlval.Value{sqlval.Int(1), sqlval.Int(20)}, 2)
+	ix.Insert([]sqlval.Value{sqlval.Int(2), sqlval.Int(10)}, 3)
+	if got := ix.EqualPrefix([]sqlval.Value{sqlval.Int(1)}); len(got) != 2 {
+		t.Errorf("EqualPrefix = %v", got)
+	}
+}
+
+// Property: after any random sequence of inserts and deletes the index
+// stays sorted and Equal() agrees with a linear scan.
+func TestIndexInvariantQuick(t *testing.T) {
+	f := func(ops []int16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := NewIndexData([]sqlval.Collation{sqlval.CollBinary}, []bool{false})
+		type kv struct {
+			k     int64
+			rowid int64
+		}
+		var live []kv
+		next := int64(1)
+		for _, op := range ops {
+			k := int64(op % 8)
+			if op >= 0 || len(live) == 0 {
+				ix.Insert([]sqlval.Value{sqlval.Int(k)}, next)
+				live = append(live, kv{k, next})
+				next++
+			} else {
+				victim := rng.Intn(len(live))
+				v := live[victim]
+				if !ix.Delete([]sqlval.Value{sqlval.Int(v.k)}, v.rowid) {
+					return false
+				}
+				live = append(live[:victim], live[victim+1:]...)
+			}
+		}
+		if ix.Len() != len(live) {
+			return false
+		}
+		es := ix.Entries()
+		for i := 1; i < len(es); i++ {
+			if ix.CompareKeys(es[i-1].Key, es[i].Key) > 0 {
+				return false
+			}
+		}
+		for probe := int64(0); probe < 8; probe++ {
+			want := 0
+			for _, v := range live {
+				if v.k == probe {
+					want++
+				}
+			}
+			if len(ix.Equal([]sqlval.Value{sqlval.Int(probe)})) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

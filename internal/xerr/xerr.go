@@ -1,0 +1,122 @@
+// Package xerr is the engine's typed error model. The PQS error oracle
+// classifies engine errors by Code: some codes are expected for a given
+// statement (and whitelisted), while others — corruption, internal errors —
+// always indicate a bug (the paper's error oracle).
+package xerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code classifies an engine error.
+type Code uint8
+
+// Engine error codes.
+const (
+	// CodeSyntax is a parse error.
+	CodeSyntax Code = iota
+	// CodeType is a dialect type error (strict typing, bad casts).
+	CodeType
+	// CodeNotNull is a NOT NULL constraint violation.
+	CodeNotNull
+	// CodeUnique is a UNIQUE or PRIMARY KEY violation.
+	CodeUnique
+	// CodeCheck is a CHECK constraint violation.
+	CodeCheck
+	// CodeNoObject covers missing tables, columns, and indexes.
+	CodeNoObject
+	// CodeDuplicateObject covers CREATE of an existing object.
+	CodeDuplicateObject
+	// CodeRange is a numeric out-of-range error (Postgres overflow,
+	// division by zero).
+	CodeRange
+	// CodeOption is an invalid option/pragma error ("Incorrect arguments
+	// to SET").
+	CodeOption
+	// CodeCorrupt reports database corruption ("malformed database disk
+	// image"). Always unexpected — the error oracle's prime catch.
+	CodeCorrupt
+	// CodeInternal is an internal invariant failure ("negative bitmapset
+	// member not allowed", "found unexpected null value in index").
+	// Always unexpected.
+	CodeInternal
+	// CodeUnsupported marks dialect features the engine refuses.
+	CodeUnsupported
+	// CodeCrash marks a simulated process crash (recovered panic). The
+	// crash oracle reports these as SEGFAULTs.
+	CodeCrash
+	// CodeBusy marks concurrency conflicts between sessions.
+	CodeBusy
+)
+
+// String names the code.
+func (c Code) String() string {
+	switch c {
+	case CodeSyntax:
+		return "syntax"
+	case CodeType:
+		return "type"
+	case CodeNotNull:
+		return "notnull"
+	case CodeUnique:
+		return "unique"
+	case CodeCheck:
+		return "check"
+	case CodeNoObject:
+		return "no-object"
+	case CodeDuplicateObject:
+		return "duplicate-object"
+	case CodeRange:
+		return "range"
+	case CodeOption:
+		return "option"
+	case CodeCorrupt:
+		return "corrupt"
+	case CodeInternal:
+		return "internal"
+	case CodeUnsupported:
+		return "unsupported"
+	case CodeCrash:
+		return "crash"
+	case CodeBusy:
+		return "busy"
+	default:
+		return fmt.Sprintf("code(%d)", uint8(c))
+	}
+}
+
+// Error is a typed engine error.
+type Error struct {
+	Code Code
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Msg }
+
+// New creates a typed engine error.
+func New(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the engine error code; ok is false for foreign errors.
+func CodeOf(err error) (Code, bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code, true
+	}
+	return 0, false
+}
+
+// Is reports whether err is an engine error with the given code.
+func Is(err error, code Code) bool {
+	c, ok := CodeOf(err)
+	return ok && c == code
+}
+
+// AlwaysUnexpected reports whether the code indicates a bug regardless of
+// the statement that produced it (the error oracle's unconditional set).
+func AlwaysUnexpected(code Code) bool {
+	return code == CodeCorrupt || code == CodeInternal || code == CodeCrash
+}

@@ -1,0 +1,64 @@
+package xerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNewAndCodeOf(t *testing.T) {
+	err := New(CodeUnique, "UNIQUE constraint failed: %s", "t0.c0")
+	if err.Error() != "UNIQUE constraint failed: t0.c0" {
+		t.Errorf("message: %q", err.Error())
+	}
+	code, ok := CodeOf(err)
+	if !ok || code != CodeUnique {
+		t.Errorf("CodeOf = %v, %v", code, ok)
+	}
+	if !Is(err, CodeUnique) || Is(err, CodeCorrupt) {
+		t.Error("Is broken")
+	}
+}
+
+func TestCodeOfWrapped(t *testing.T) {
+	err := fmt.Errorf("context: %w", New(CodeCrash, "SIGSEGV"))
+	if code, ok := CodeOf(err); !ok || code != CodeCrash {
+		t.Errorf("wrapped CodeOf = %v, %v", code, ok)
+	}
+}
+
+func TestCodeOfForeign(t *testing.T) {
+	if _, ok := CodeOf(errors.New("plain")); ok {
+		t.Error("foreign errors have no code")
+	}
+	if Is(errors.New("plain"), CodeSyntax) {
+		t.Error("Is on foreign error should be false")
+	}
+}
+
+func TestAlwaysUnexpected(t *testing.T) {
+	for _, c := range []Code{CodeCorrupt, CodeInternal, CodeCrash} {
+		if !AlwaysUnexpected(c) {
+			t.Errorf("%v should always be unexpected", c)
+		}
+	}
+	for _, c := range []Code{CodeSyntax, CodeUnique, CodeNotNull, CodeType, CodeRange, CodeOption} {
+		if AlwaysUnexpected(c) {
+			t.Errorf("%v should be statement-dependent", c)
+		}
+	}
+}
+
+func TestCodeStrings(t *testing.T) {
+	codes := []Code{CodeSyntax, CodeType, CodeNotNull, CodeUnique, CodeCheck,
+		CodeNoObject, CodeDuplicateObject, CodeRange, CodeOption, CodeCorrupt,
+		CodeInternal, CodeUnsupported, CodeCrash, CodeBusy}
+	seen := map[string]bool{}
+	for _, c := range codes {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Errorf("code %d string %q empty or duplicated", c, s)
+		}
+		seen[s] = true
+	}
+}
