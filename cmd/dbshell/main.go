@@ -6,7 +6,9 @@
 //
 //	dbshell -dialect sqlite [-fault sqlite.partial-index-not-null]
 //
-// Statements end with ';'. Meta commands: .tables, .schema <t>, .quit.
+// Statements end with ';'. Meta commands: .tables, .schema <t>,
+// .plan <select>, .quit. `EXPLAIN [QUERY PLAN] <select>;` also works as a
+// statement and reports the planner's chosen access path per FROM source.
 package main
 
 import (
@@ -97,8 +99,18 @@ func meta(e *engine.Engine, cmd string) bool {
 		for _, ix := range e.Indexes(name) {
 			fmt.Printf("  index %s\n", ix)
 		}
+	case strings.HasPrefix(cmd, ".plan"):
+		query := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(cmd, ".plan")), ";")
+		paths, err := e.PlanSQL(query)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		for _, p := range paths {
+			fmt.Println(" ", p.Detail())
+		}
 	default:
-		fmt.Println("meta commands: .tables, .schema <t>, .quit")
+		fmt.Println("meta commands: .tables, .schema <t>, .plan <select>, .quit")
 	}
 	return true
 }

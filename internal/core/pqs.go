@@ -396,7 +396,7 @@ func (t *Tester) negativeIteration(e *engine.Engine, pivots []pivotRow, ctx *int
 // falsifiedCondition is the dual of rectifiedCondition: the generated
 // expression is modified to evaluate FALSE on the pivot row.
 func (t *Tester) falsifiedCondition(ctx *interp.Context, cols []gen.ColumnPick, hints []sqlval.Value) (sqlast.Expr, bool) {
-	eg := &gen.ExprGen{Rnd: t.rnd, Cols: cols, Hints: hints, MaxDepth: t.cfg.MaxExprDepth}
+	eg := &gen.ExprGen{Rnd: t.rnd, Cols: cols, Hints: hints, ColValues: pivotColValues(cols, hints), MaxDepth: t.cfg.MaxExprDepth}
 	for tries := 0; tries < 20; tries++ {
 		expr := eg.Generate()
 		tb, err := t.evalBool(expr, ctx)
@@ -426,6 +426,16 @@ func RectifyFalse(expr sqlast.Expr, tb sqlval.TriBool) sqlast.Expr {
 	default:
 		return &sqlast.Unary{Op: sqlast.OpNotNull, X: expr}
 	}
+}
+
+// pivotColValues slices the pivot-aligned prefix of the hint pool:
+// bindPivot appends one hint per bound column, in column order, before the
+// general value pool.
+func pivotColValues(cols []gen.ColumnPick, hints []sqlval.Value) []sqlval.Value {
+	if len(hints) < len(cols) {
+		return nil
+	}
+	return hints[:len(cols)]
 }
 
 func tupleString(vals []sqlval.Value) string {
@@ -469,7 +479,7 @@ func (t *Tester) bindPivot(e *engine.Engine, pivots []pivotRow, sg *gen.StateGen
 // rectifiedCondition implements steps 3–4: generate a random expression,
 // evaluate it on the pivot row, and modify it to yield TRUE (Algorithm 3).
 func (t *Tester) rectifiedCondition(ctx *interp.Context, cols []gen.ColumnPick, hints []sqlval.Value) (sqlast.Expr, bool) {
-	eg := &gen.ExprGen{Rnd: t.rnd, Cols: cols, Hints: hints, MaxDepth: t.cfg.MaxExprDepth}
+	eg := &gen.ExprGen{Rnd: t.rnd, Cols: cols, Hints: hints, ColValues: pivotColValues(cols, hints), MaxDepth: t.cfg.MaxExprDepth}
 	for tries := 0; tries < 20; tries++ {
 		expr := eg.Generate()
 		tb, err := t.evalBool(expr, ctx)
@@ -540,7 +550,7 @@ func (t *Tester) buildQuery(ctx *interp.Context, pivots []pivotRow, cols []gen.C
 
 	// Result columns: every pivot table column, occasionally replaced by
 	// a random expression on columns (§3.4 extension).
-	eg := &gen.ExprGen{Rnd: t.rnd, Cols: cols, Hints: hints, MaxDepth: t.cfg.MaxExprDepth}
+	eg := &gen.ExprGen{Rnd: t.rnd, Cols: cols, Hints: hints, ColValues: pivotColValues(cols, hints), MaxDepth: t.cfg.MaxExprDepth}
 	for _, p := range pivots {
 		for ci, col := range p.info.Columns {
 			if t.rnd.Bool(0.15) {

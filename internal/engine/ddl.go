@@ -254,6 +254,12 @@ func (e *Engine) createIndex(n *sqlast.CreateIndex) (*Result, error) {
 		if !include {
 			continue
 		}
+		// Fault site (sqlite.nocase-unique-index, Listing 4): building a
+		// NOCASE index over a WITHOUT ROWID table's PK dedups case-variant
+		// keys — only the first variant gets an entry.
+		if e.nocaseIndexDrops(t, ix, key, ixd) {
+			continue
+		}
 		if ix.Unique && !allNull(key) && len(ixd.Equal(key)) > 0 {
 			return nil, xerr.New(xerr.CodeUnique, "UNIQUE constraint failed: index %s", ix.Name)
 		}
@@ -269,6 +275,15 @@ func (e *Engine) createIndex(n *sqlast.CreateIndex) (*Result, error) {
 		e.cov.hit("ddl.partial-index")
 	}
 	return &Result{}, nil
+}
+
+// nocaseIndexDrops is the shared trigger of the sqlite.nocase-unique-index
+// fault (Listing 4): wherever entries are added — CREATE INDEX, REINDEX, or
+// INSERT — a NOCASE index over a WITHOUT ROWID table's PK silently dedups
+// case-variant text keys.
+func (e *Engine) nocaseIndexDrops(t *schema.Table, ix *schema.Index, key []sqlval.Value, ixd *storage.IndexData) bool {
+	return e.d == dialect.SQLite && e.fs.Has(faults.NocaseUniqueIndex) && t.WithoutRowid &&
+		pkIsNocaseText(t, ix, key) && len(ixd.Equal(key)) > 0
 }
 
 // indexKey computes a row's key for an index; include=false means a partial

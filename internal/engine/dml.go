@@ -235,6 +235,9 @@ func (e *Engine) storeRow(t *schema.Table, td *storage.TableData, vals []sqlval.
 		}
 	}
 	// Maintain explicit indexes.
+	if e.skipIndexMaint {
+		return true, nil
+	}
 	for _, ix := range e.cat.IndexesOn(t.Name) {
 		ixd := e.idx[lower(ix.Name)]
 		if ixd == nil {
@@ -252,10 +255,8 @@ func (e *Engine) storeRow(t *schema.Table, td *storage.TableData, vals []sqlval.
 		// index over a WITHOUT ROWID table's PK deduplicates case-variant
 		// keys — the row is stored, but its index entry is silently
 		// dropped, so index lookups return only one of the case variants.
-		if e.d == dialect.SQLite && e.fs.Has(faults.NocaseUniqueIndex) && t.WithoutRowid {
-			if pkIsNocaseText(t, ix, key) && len(ixd.Equal(key)) > 0 {
-				continue
-			}
+		if e.nocaseIndexDrops(t, ix, key, ixd) {
+			continue
 		}
 		if ix.Unique && !allNull(key) && len(ixd.Equal(key)) > 0 {
 			td.Delete(row.Rowid)
@@ -368,8 +369,18 @@ func (e *Engine) update(n *sqlast.Update) (*Result, error) {
 		}
 		// Remove the old row, then store the new one; restore on failure.
 		oldVals := r.Vals
-		e.removeRow(t, td, rid)
+		// Fault site (sqlite.stale-index-after-update): the heap row is
+		// rewritten but index maintenance is skipped entirely — old entries
+		// linger under the dead rowid and the new row never gets entries,
+		// so index-driven access paths miss updated rows.
+		if e.d == dialect.SQLite && e.fs.Has(faults.StaleIndexAfterUpdate) {
+			td.Delete(rid)
+			e.skipIndexMaint = true
+		} else {
+			e.removeRow(t, td, rid)
+		}
 		stored, err := e.storeRow(t, td, newVals, n.Conflict, -1)
+		e.skipIndexMaint = false
 		if err != nil {
 			if _, serr := e.storeRow(t, td, oldVals, sqlast.ConflictIgnore, -1); serr != nil {
 				e.corrupt = "database disk image is malformed"

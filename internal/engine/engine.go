@@ -58,6 +58,8 @@ type Engine struct {
 	seq               int64
 	corrupt           string // non-empty: database is corrupted; message
 	caseSensitiveLike bool
+	noPlanner         bool // force full scans (differential-test baseline)
+	skipIndexMaint    bool // stale-index fault: storeRow leaves indexes untouched
 	globals           map[string]sqlval.Value
 
 	cov *Coverage
@@ -69,6 +71,13 @@ type Option func(*Engine)
 // WithFaults enables an injected-bug set.
 func WithFaults(fs *faults.Set) Option {
 	return func(e *Engine) { e.fs = fs }
+}
+
+// WithoutPlanner disables index access paths: every query runs as a full
+// table scan. The scan-vs-index differential suite uses this as its
+// ground-truth baseline.
+func WithoutPlanner() Option {
+	return func(e *Engine) { e.noPlanner = true }
 }
 
 // Open creates an empty database for the dialect.
@@ -170,6 +179,8 @@ func (e *Engine) ExecStmt(st sqlast.Stmt) (res *Result, err error) {
 		return e.execSelect(n)
 	case *sqlast.Compound:
 		return e.execCompound(n)
+	case *sqlast.Explain:
+		return e.execExplain(n)
 	case *sqlast.Maintenance:
 		return e.maintenance(n)
 	case *sqlast.SetOption:

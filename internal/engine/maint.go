@@ -150,6 +150,12 @@ func (e *Engine) rebuildIndexesOn(table string, checkUnique bool) error {
 			if !include {
 				continue
 			}
+			// Fault site (sqlite.nocase-unique-index): rebuilds silently
+			// dedup case-variant PK keys the same way the initial build
+			// does — the duplicate never reaches the uniqueness check.
+			if e.nocaseIndexDrops(t, ix, key, fresh) {
+				continue
+			}
 			if checkUnique && ix.Unique && !allNull(key) && len(fresh.Equal(key)) > 0 {
 				return xerr.New(xerr.CodeUnique, "UNIQUE constraint failed: index %s", ix.Name)
 			}

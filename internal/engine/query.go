@@ -24,8 +24,18 @@ func (e *Engine) execSelect(n *sqlast.Select) (*Result, error) {
 	// Resolve sources.
 	var rels []*relation
 	var joins []joinInfo // parallel to rels[1:]
+	single := len(n.From) == 1 && len(n.Joins) == 0
 	for _, tr := range n.From {
-		r, err := e.buildRelation(tr)
+		var r *relation
+		var err error
+		if single {
+			// Single-source queries go through the planner: the access
+			// path is chosen before materialization, so an index probe
+			// fetches only candidate rows instead of the whole heap.
+			r, err = e.buildPlannedRelation(n, tr)
+		} else {
+			r, err = e.buildRelation(tr)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -44,13 +54,6 @@ func (e *Engine) execSelect(n *sqlast.Select) (*Result, error) {
 	}
 	if err := e.preQueryFaults(n, rels); err != nil {
 		return nil, err
-	}
-
-	// Single-source queries go through the planner (index selection).
-	if len(rels) == 1 {
-		if err := e.planSingle(n, rels[0]); err != nil {
-			return nil, err
-		}
 	}
 
 	// Join / cross product with WHERE filtering.
@@ -182,8 +185,14 @@ func (e *Engine) preQueryFaults(n *sqlast.Select, rels []*relation) error {
 					if !whereMentionsColumn(n.Where, cr.Column) {
 						continue
 					}
-					for _, row := range r.rows {
-						if ci < len(row.vals) && row.vals[ci].IsNull() {
+					// Inspect the heap, not the (possibly index-restricted)
+					// relation: the fault is about stored index state.
+					td := e.data[lower(r.table)]
+					if td == nil {
+						continue
+					}
+					for _, row := range td.Rows() {
+						if ci < len(row.Vals) && row.Vals[ci].IsNull() {
 							return xerr.New(xerr.CodeInternal, "found unexpected null value in index %q", ix.Name)
 						}
 					}
@@ -205,64 +214,22 @@ func whereMentionsColumn(where sqlast.Expr, col string) bool {
 	return found
 }
 
-// planSingle applies index selection to a single-table query, replacing the
-// relation's row set with the index's candidates (a superset of the final
-// answer in a correct engine; the residual WHERE filter still runs).
-func (e *Engine) planSingle(n *sqlast.Select, r *relation) error {
-	if r.table == "" || n.Where == nil && !n.Distinct {
-		return nil
+// planCandidates runs access-path selection for a single-table query and
+// returns the candidate rowids the chosen path visits. restricted=false
+// means a full heap scan was chosen. Candidates are a superset of the
+// final answer in a correct engine; the residual WHERE filter still runs.
+func (e *Engine) planCandidates(n *sqlast.Select, t *schema.Table, relName string) (rowids []int64, restricted bool) {
+	if n.Where == nil && !n.Distinct {
+		return nil, false
 	}
-	t, ok := e.cat.Table(r.table)
-	if !ok {
-		return nil
-	}
-	st := e.tableState(r.table)
+	st := e.tableState(t.Name)
 
 	// Partial-index enumeration: usable when the WHERE clause implies the
 	// index predicate.
 	if n.Where != nil {
-		for _, ix := range e.cat.IndexesOn(r.table) {
-			if ix.Where == nil {
-				continue
-			}
-			if e.predicateImplies(n.Where, ix.Where) {
-				e.cov.hit("plan.partial-index-scan")
-				e.restrictToRowids(r, e.idxRowids(ix))
-				return nil
-			}
-		}
-		// Equality lookup (SQLite only — cross-class coercion in the
-		// other dialects makes raw key lookups unsound).
-		if e.d == dialect.SQLite {
-			if col, val, coll, ok := equalityLookup(n.Where); ok {
-				for _, ix := range e.cat.IndexesOn(r.table) {
-					if ix.Where != nil || len(ix.Parts) == 0 {
-						continue
-					}
-					cr, bare := ix.Parts[0].X.(*sqlast.ColumnRef)
-					if !bare || cr.MaybeString || !strings.EqualFold(cr.Column, col) {
-						continue
-					}
-					// The index can serve the lookup when its declared
-					// collation is at least as coarse as the query's.
-					declared := ix.Parts[0].Collate
-					if !(declared == coll || coll == sqlval.CollBinary) {
-						continue
-					}
-					ci := t.ColumnIndex(col)
-					if ci >= 0 {
-						v := sqlval.ApplyAffinity(val, t.Columns[ci].Affinity)
-						val = v
-					}
-					ixd := e.idx[lower(ix.Name)]
-					if ixd == nil {
-						continue
-					}
-					e.cov.hit("plan.index-eq-lookup")
-					e.restrictToRowids(r, ixd.EqualPrefix([]sqlval.Value{val}))
-					return nil
-				}
-			}
+		if ix := e.impliedPartialIndex(n.Where, t.Name); ix != nil {
+			e.cov.hit("plan.partial-index-scan")
+			return e.idxRowids(ix), true
 		}
 	}
 
@@ -270,7 +237,7 @@ func (e *Engine) planSingle(n *sqlast.Select, r *relation) error {
 	// DISTINCT query uses a skip-scan over a multi-column index and drops
 	// rows whose leading key repeats.
 	if e.d == dialect.SQLite && e.fs.Has(faults.SkipScanDistinct) && n.Distinct && st.analyzed {
-		for _, ix := range e.cat.IndexesOn(r.table) {
+		for _, ix := range e.cat.IndexesOn(t.Name) {
 			if ix.Where != nil || len(ix.Parts) < 2 {
 				continue
 			}
@@ -289,34 +256,75 @@ func (e *Engine) planSingle(n *sqlast.Select, r *relation) error {
 				prevLead = entry.Key[0]
 				keep = append(keep, entry.Rowid)
 			}
-			e.restrictToRowids(r, keep)
-			return nil
+			return keep, true
 		}
 	}
-	return nil
+
+	// Cost-based access-path selection: full scan vs index point lookup vs
+	// index range scan, by simple row-count costing (see plan.go).
+	if path := e.chooseAccessPath(n, t, relName); path != nil {
+		switch path.Kind {
+		case PathIndexEq:
+			e.cov.hit("plan.index-eq-lookup")
+		case PathIndexRange:
+			e.cov.hit("plan.index-range-scan")
+		}
+		return e.executePath(path), true
+	}
+	if n.Where != nil {
+		e.cov.hit("plan.full-scan")
+	}
+	return nil, false
 }
 
-// equalityLookup recognizes `col = const` / `col IS const` WHERE roots.
-func equalityLookup(where sqlast.Expr) (col string, val sqlval.Value, coll sqlval.Collation, ok bool) {
-	b, isBin := where.(*sqlast.Binary)
-	if !isBin || (b.Op != sqlast.OpEq && b.Op != sqlast.OpIs) {
-		return "", sqlval.Null(), sqlval.CollBinary, false
+// buildPlannedRelation materializes a single FROM source through the
+// planner: when an index path is chosen, only the candidate rowids are
+// fetched from the heap — point lookups cost O(log n), not O(n).
+func (e *Engine) buildPlannedRelation(n *sqlast.Select, tr sqlast.TableRef) (*relation, error) {
+	t, ok := e.cat.Table(tr.Name)
+	if !ok {
+		return nil, xerr.New(xerr.CodeNoObject, "no such table: %s", tr.Name)
 	}
-	l, r := b.L, b.R
-	coll = sqlval.CollBinary
-	if c, isColl := l.(*sqlast.Collate); isColl {
-		l = c.X
-		coll = c.Coll
+	if !e.plannable(t) {
+		return e.buildRelation(tr)
 	}
-	cr, isCol := l.(*sqlast.ColumnRef)
-	if !isCol || cr.MaybeString {
-		return "", sqlval.Null(), sqlval.CollBinary, false
+	name := tr.Name
+	if tr.Alias != "" {
+		name = tr.Alias
 	}
-	lit, isLit := r.(*sqlast.Literal)
-	if !isLit {
-		return "", sqlval.Null(), sqlval.CollBinary, false
+	rowids, restricted := e.planCandidates(n, t, name)
+	if !restricted {
+		return e.buildRelation(tr)
 	}
-	return cr.Column, lit.Val, coll, true
+	st := e.tableState(t.Name)
+	// Fault site (sqlite.rowid-alias-crash): resolving rows after RENAME
+	// COLUMN dereferences a stale column slot, on any access path.
+	if e.d == dialect.SQLite && e.fs.Has(faults.RowidAliasCrash) && st.renamedColumn {
+		panic(crashPanic{site: "rowid_alias_resolve"})
+	}
+	td := e.data[lower(t.Name)]
+	r := &relation{name: name, table: t.Name, columns: t.Columns, engine: t.Engine}
+	// Deduplicate and fetch in rowid order, matching heap-scan order.
+	sorted := append([]int64(nil), rowids...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	var prev int64
+	for i, rid := range sorted {
+		if i > 0 && rid == prev {
+			continue
+		}
+		prev = rid
+		row, ok := td.Get(rid)
+		if !ok {
+			continue // dangling index entry (stale-index fault class)
+		}
+		// Fault site (generic.insert-visibility): the most recent insert
+		// is invisible to scans.
+		if e.d == dialect.MySQL && e.fs.Has(faults.InsertVisibility) && row.Rowid == st.lastInsert {
+			continue
+		}
+		r.rows = append(r.rows, &rowVals{rowid: row.Rowid, vals: row.Vals})
+	}
+	return r, nil
 }
 
 // predicateImplies reports whether `where` implies the partial-index
@@ -377,20 +385,6 @@ func (e *Engine) idxRowids(ix *schema.Index) []int64 {
 		out = append(out, entry.Rowid)
 	}
 	return out
-}
-
-func (e *Engine) restrictToRowids(r *relation, rowids []int64) {
-	keep := make(map[int64]bool, len(rowids))
-	for _, rid := range rowids {
-		keep[rid] = true
-	}
-	var rows []*rowVals
-	for _, row := range r.rows {
-		if keep[row.rowid] {
-			rows = append(rows, row)
-		}
-	}
-	r.rows = rows
 }
 
 // joinRows enumerates filtered row combinations.

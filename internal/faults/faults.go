@@ -104,6 +104,19 @@ const (
 	// RowidAliasCrash: resolving the rowid alias after RENAME COLUMN
 	// dereferences a stale slot and crashes.
 	RowidAliasCrash Fault = "sqlite.rowid-alias-crash"
+	// RangeScanBoundary: the planner's index range scan treats inclusive
+	// bounds as exclusive, dropping rows that sit exactly on a range
+	// boundary (§4.4 optimization class: off-by-one in the seek target).
+	RangeScanBoundary Fault = "sqlite.range-scan-boundary"
+	// StaleIndexAfterUpdate: UPDATE rewrites the heap row but leaves the
+	// index entries untouched, so index-driven access paths miss updated
+	// rows (§4.4 class: stale index state).
+	StaleIndexAfterUpdate Fault = "sqlite.stale-index-after-update"
+	// PlannerCollationConfusion: the planner serves a collation-qualified
+	// equality with an index ordered under a different collation, so the
+	// lookup misses collation-equal key variants (§4.4 class: wrong index
+	// chosen for the comparison collation).
+	PlannerCollationConfusion Fault = "sqlite.planner-collation-confusion"
 )
 
 // MySQL-dialect faults.
@@ -216,6 +229,9 @@ func init() {
 		{CollateIndexOrder, sq, ClassIndex, OracleContainment, true, "§4.4 class", "collated index built in BINARY order misses range rows"},
 		{AffinityCompare, sq, ClassTyping, OracleContainment, true, "§4.4 class", "constant side of comparison skips affinity conversion"},
 		{RowidAliasCrash, sq, ClassCrash, OracleCrash, false, "§4.2 class", "rowid alias resolution crashes after RENAME COLUMN"},
+		{RangeScanBoundary, sq, ClassIndex, OracleContainment, true, "§4.4 class", "index range scan drops rows on inclusive boundaries"},
+		{StaleIndexAfterUpdate, sq, ClassIndex, OracleContainment, true, "§4.4 class", "UPDATE leaves index entries stale; index paths miss updated rows"},
+		{PlannerCollationConfusion, sq, ClassIndex, OracleContainment, true, "§4.4 class", "planner uses an index whose collation mismatches the comparison"},
 
 		{MemoryEngineCast, my, ClassTyping, OracleContainment, true, "Listing 11", "MEMORY engine evaluates CAST AS UNSIGNED comparisons wrong"},
 		{UnsignedCompare, my, ClassTyping, OracleContainment, true, "§4.5", "UNSIGNED column vs negative constant coerces the constant"},

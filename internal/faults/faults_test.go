@@ -9,8 +9,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 36 {
-		t.Fatalf("registry has %d faults, want 36", len(all))
+	if len(all) != 39 {
+		t.Fatalf("registry has %d faults, want 39", len(all))
 	}
 	for _, i := range all {
 		if i.ID == "" || i.Desc == "" || i.Paper == "" {

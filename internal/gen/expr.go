@@ -19,10 +19,15 @@ type ColumnPick struct {
 // generated constants often collide with stored values — without this bias
 // equality predicates would almost never be satisfiable.
 type ExprGen struct {
-	Rnd      *Rand
-	Cols     []ColumnPick
-	Hints    []sqlval.Value
-	MaxDepth int
+	Rnd   *Rand
+	Cols  []ColumnPick
+	Hints []sqlval.Value
+	// ColValues, when parallel to Cols, holds the current pivot row's value
+	// for each column. simpleComparison biases literals toward the chosen
+	// column's own pivot value, so comparisons sit exactly on the values the
+	// planner's index probes and range boundaries must not miss.
+	ColValues []sqlval.Value
+	MaxDepth  int
 }
 
 // Generate produces an expression suitable for a filter condition.
@@ -48,15 +53,42 @@ func (eg *ExprGen) Generate() sqlast.Expr {
 
 // simpleComparison builds `col <op> literal` with an index-lookup-friendly
 // operator and a literal that often collides with (or is a case/space
-// mutation of) a stored value.
+// mutation of) a stored value. Column choice is biased toward collated
+// columns: those are where the planner's collation decisions (and the
+// paper's collated-index bug class) live.
 func (eg *ExprGen) simpleComparison() sqlast.Expr {
 	c := eg.Cols[eg.Rnd.Intn(len(eg.Cols))]
+	if eg.Rnd.D == dialect.SQLite && eg.Rnd.Bool(0.5) {
+		var interesting []ColumnPick
+		for _, cand := range eg.Cols {
+			if (cand.Column.Collate != "" && cand.Column.Collate != "BINARY") || cand.Column.PK {
+				interesting = append(interesting, cand)
+			}
+		}
+		if len(interesting) > 0 {
+			c = interesting[eg.Rnd.Intn(len(interesting))]
+		}
+	}
 	col := sqlast.Col(c.Table, c.Column.Name)
-	lit := eg.mutatedHint(c)
+	lit := eg.pivotLiteral(c)
 	switch eg.Rnd.D {
 	case dialect.SQLite:
-		ops := []sqlast.BinOp{sqlast.OpEq, sqlast.OpEq, sqlast.OpIs, sqlast.OpIsNot, sqlast.OpGt, sqlast.OpLe}
-		return &sqlast.Binary{Op: ops[eg.Rnd.Intn(len(ops))], L: col, R: lit}
+		// Inclusive range bounds on stored values sit exactly on index
+		// range-scan boundaries (the range-scan-boundary trigger).
+		if eg.Rnd.Bool(0.12) {
+			return &sqlast.Between{X: col, Lo: eg.pivotLiteral(c), Hi: eg.pivotLiteral(c)}
+		}
+		var l sqlast.Expr = col
+		// Collation-qualified comparisons steer the planner's
+		// index-vs-collation decision (the planner-collation-confusion
+		// trigger: a NOCASE comparison served by a BINARY-ordered index).
+		if eg.Rnd.Bool(0.15) {
+			colls := []sqlval.Collation{sqlval.CollNoCase, sqlval.CollRTrim}
+			l = &sqlast.Collate{X: col, Coll: colls[eg.Rnd.Intn(len(colls))]}
+		}
+		ops := []sqlast.BinOp{sqlast.OpEq, sqlast.OpEq, sqlast.OpIs, sqlast.OpIsNot,
+			sqlast.OpGt, sqlast.OpGe, sqlast.OpLt, sqlast.OpLe}
+		return &sqlast.Binary{Op: ops[eg.Rnd.Intn(len(ops))], L: l, R: lit}
 	case dialect.MySQL:
 		ops := []sqlast.BinOp{sqlast.OpEq, sqlast.OpNullSafeEq, sqlast.OpNullSafeEq, sqlast.OpGt, sqlast.OpNe}
 		return &sqlast.Binary{Op: ops[eg.Rnd.Intn(len(ops))], L: col, R: lit}
@@ -75,6 +107,35 @@ func (eg *ExprGen) simpleComparison() sqlast.Expr {
 	}
 }
 
+// pivotLiteral draws a literal for a comparison against column c: half the
+// time the pivot row's own value for c (possibly case/space-mutated — the
+// comparison is then TRUE on the pivot and survives rectification as a
+// sargable WHERE conjunct), otherwise a general mutated hint.
+func (eg *ExprGen) pivotLiteral(c ColumnPick) sqlast.Expr {
+	idx := -1
+	for i := range eg.Cols {
+		if eg.Cols[i].Table == c.Table && eg.Cols[i].Column.Name == c.Column.Name {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 && idx < len(eg.ColValues) && eg.Rnd.Bool(0.5) {
+		v := eg.ColValues[idx]
+		if !v.IsNull() {
+			if v.Kind() == sqlval.KText && eg.Rnd.Bool(0.5) {
+				switch eg.Rnd.Intn(2) {
+				case 0:
+					return sqlast.Lit(sqlval.Text(ToggleCase(v.Str())))
+				default:
+					return sqlast.Lit(sqlval.Text(v.Str() + "  "))
+				}
+			}
+			return sqlast.Lit(v)
+		}
+	}
+	return eg.mutatedHint(c)
+}
+
 // mutatedHint draws a literal near the stored data: a hint value verbatim,
 // or a case-toggled / trailing-space variant of a stored text (the NOCASE
 // and RTRIM bug triggers), or a fresh random value.
@@ -85,16 +146,7 @@ func (eg *ExprGen) mutatedHint(c ColumnPick) sqlast.Expr {
 			s := h.Str()
 			switch eg.Rnd.Intn(3) {
 			case 0: // toggle ASCII case
-				b := []byte(s)
-				for i, ch := range b {
-					switch {
-					case ch >= 'a' && ch <= 'z':
-						b[i] = ch - 32
-					case ch >= 'A' && ch <= 'Z':
-						b[i] = ch + 32
-					}
-				}
-				s = string(b)
+				s = ToggleCase(s)
 			case 1: // append trailing spaces
 				s += "  "
 			default: // trim trailing spaces
@@ -107,6 +159,21 @@ func (eg *ExprGen) mutatedHint(c ColumnPick) sqlast.Expr {
 		return sqlast.Lit(h)
 	}
 	return sqlast.Lit(eg.Rnd.Value())
+}
+
+// ToggleCase flips the ASCII case of every letter — the generator's
+// canonical way to produce NOCASE-equal but BINARY-distinct variants.
+func ToggleCase(s string) string {
+	b := []byte(s)
+	for i, ch := range b {
+		switch {
+		case ch >= 'a' && ch <= 'z':
+			b[i] = ch - 32
+		case ch >= 'A' && ch <= 'Z':
+			b[i] = ch + 32
+		}
+	}
+	return string(b)
 }
 
 // GenerateValueExpr produces an expression used in a result-column

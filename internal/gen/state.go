@@ -109,7 +109,7 @@ func (sg *StateGen) genCreateTable(name string) *sqlast.CreateTable {
 		case dialect.SQLite:
 			types := []string{"", "", "INT", "TEXT", "REAL", "BLOB", "NUMERIC"}
 			cd.TypeName = types[sg.Rnd.Intn(len(types))]
-			if sg.Rnd.Bool(0.18) {
+			if sg.Rnd.Bool(0.25) {
 				colls := []string{"NOCASE", "RTRIM", "BINARY"}
 				cd.Collate = colls[sg.Rnd.Intn(len(colls))]
 			}
@@ -179,16 +179,34 @@ func (sg *StateGen) insertInto(apply Apply, table string, rows int) error {
 		cols = info.Columns
 		ins.Columns = nil
 	}
+	batch := map[string][]sqlval.Value{} // values produced by this statement
 	for r := 0; r < rows; r++ {
 		var row []sqlast.Expr
 		for _, c := range cols {
 			var v sqlval.Value
-			if sg.Rnd.D == dialect.Postgres {
+			switch {
+			case sg.Rnd.D == dialect.Postgres:
 				v = sg.Rnd.ValueOfCategory(CategoryOfType(c.TypeName))
-			} else {
+			case sg.Rnd.D == dialect.SQLite && c.PK && info.WithoutRowid && sg.Rnd.Bool(0.5):
+				// Listing 4's data shape: a case-toggled variant of an
+				// existing PK value — BINARY-distinct (so the PK admits it)
+				// but NOCASE-equal (so a collated PK index dedups it).
+				v = sg.caseVariantOf(table, info, c.Name, batch[c.Name])
+			case sg.Rnd.D == dialect.SQLite && len(sg.Hints) > 0 && sg.Rnd.Bool(0.2):
+				// Re-insert a case-toggled variant of stored text:
+				// NOCASE-equal but BINARY-distinct pairs are the data shape
+				// behind the collated-index bug class (Listings 4 and 5).
+				h := sg.Hints[sg.Rnd.Intn(len(sg.Hints))]
+				if h.Kind() == sqlval.KText {
+					v = sqlval.Text(ToggleCase(h.Str()))
+				} else {
+					v = sg.Rnd.Value()
+				}
+			default:
 				v = sg.Rnd.Value()
 			}
 			sg.Hints = append(sg.Hints, v)
+			batch[c.Name] = append(batch[c.Name], v)
 			row = append(row, sqlast.Lit(v))
 		}
 		ins.Rows = append(ins.Rows, row)
@@ -200,6 +218,36 @@ func (sg *StateGen) insertInto(apply Apply, table string, rows int) error {
 		ins.Conflict = sqlast.ConflictReplace
 	}
 	return apply(ins)
+}
+
+// caseVariantOf draws a case-toggled variant of a value already present in
+// the named column — stored rows or earlier rows of the same INSERT batch —
+// falling back to interesting text (letters toggle; digits do not).
+func (sg *StateGen) caseVariantOf(table string, info schema.TableInfo, column string, batch []sqlval.Value) sqlval.Value {
+	var pool []sqlval.Value
+	ci := -1
+	for i := range info.Columns {
+		if info.Columns[i].Name == column {
+			ci = i
+			break
+		}
+	}
+	if ci >= 0 {
+		for _, r := range sg.E.RawRows(table) {
+			if ci < len(r) {
+				pool = append(pool, r[ci])
+			}
+		}
+	}
+	pool = append(pool, batch...)
+	for tries := 0; tries < 4 && len(pool) > 0; tries++ {
+		v := pool[sg.Rnd.Intn(len(pool))]
+		if v.Kind() == sqlval.KText {
+			return sqlval.Text(ToggleCase(v.Str()))
+		}
+	}
+	texts := []string{"a", "B", "abc", "u"}
+	return sqlval.Text(texts[sg.Rnd.Intn(len(texts))])
 }
 
 // randomExtra emits one exploratory statement.
@@ -280,8 +328,32 @@ func (sg *StateGen) genCreateIndex(table string) *sqlast.CreateIndex {
 	if sg.Rnd.Bool(0.3) {
 		nParts = 2
 	}
+	// Listing 4 shape: a collated index whose leading part is a WITHOUT
+	// ROWID table's PK column feeds the planner's point-lookup path.
+	if sg.Rnd.D == dialect.SQLite && info.WithoutRowid && sg.Rnd.Bool(0.55) {
+		for _, c := range info.Columns {
+			if c.PK {
+				part := sqlast.IndexedExpr{X: sqlast.Col("", c.Name), Collate: "NOCASE"}
+				ci.Parts = append(ci.Parts, part)
+				return ci
+			}
+		}
+	}
 	for p := 0; p < nParts; p++ {
 		col := info.Columns[sg.Rnd.Intn(len(info.Columns))]
+		// Collated columns are the interesting index targets: their
+		// comparisons go through collation-aware planner paths.
+		if sg.Rnd.D == dialect.SQLite && sg.Rnd.Bool(0.5) {
+			var collated []schema.ColumnInfo
+			for _, c := range info.Columns {
+				if c.Collate != "" && c.Collate != "BINARY" {
+					collated = append(collated, c)
+				}
+			}
+			if len(collated) > 0 {
+				col = collated[sg.Rnd.Intn(len(collated))]
+			}
+		}
 		var part sqlast.IndexedExpr
 		switch {
 		case sg.Rnd.Bool(0.6): // bare column
@@ -289,10 +361,10 @@ func (sg *StateGen) genCreateIndex(table string) *sqlast.CreateIndex {
 		case sg.Rnd.D == dialect.SQLite && sg.Rnd.Bool(0.4):
 			// Listing 1 (literal part) / Listing 8 (double-quoted string)
 			// / Listing 9 (LIKE expression) shapes.
-			switch sg.Rnd.Intn(3) {
+			switch sg.Rnd.Intn(4) {
 			case 0:
 				part.X = sqlast.Lit(sqlval.Int(1))
-			case 1:
+			case 1, 2:
 				part.X = &sqlast.ColumnRef{Column: "C3", MaybeString: true}
 			default:
 				part.X = &sqlast.Binary{Op: sqlast.OpLike, L: sqlast.Col("", col.Name), R: sqlast.Lit(sqlval.Text(""))}

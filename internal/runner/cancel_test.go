@@ -1,0 +1,51 @@
+package runner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/dialect"
+)
+
+// TestRunContextCancellation verifies a campaign stops promptly when its
+// context is cancelled instead of draining the seed channel.
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the feeder must not hand out seeds
+	res := RunContext(ctx, Campaign{
+		Dialect:      dialect.SQLite,
+		MaxDatabases: 100000,
+		Workers:      4,
+	})
+	if res.Detected {
+		t.Fatalf("unexpected detection on cancelled run: %v", res.Bug)
+	}
+	// Workers may each consume at most one in-flight seed before noticing.
+	if res.Databases > 8 {
+		t.Errorf("cancelled campaign still ran %d databases", res.Databases)
+	}
+}
+
+// TestRunContextDeadline verifies a deadline interrupts a large budget
+// mid-flight and reports partial progress.
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res := RunContext(ctx, Campaign{
+		Dialect:      dialect.SQLite,
+		MaxDatabases: 1000000,
+		Workers:      2,
+	})
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: campaign ran %v", elapsed)
+	}
+	if res.Databases == 0 {
+		t.Errorf("expected some databases before the deadline")
+	}
+	if res.Databases >= 1000000 {
+		t.Errorf("budget fully drained despite deadline")
+	}
+}

@@ -5,6 +5,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -45,8 +46,16 @@ type Result struct {
 	Elapsed   time.Duration
 }
 
-// Run executes the campaign.
+// Run executes the campaign to completion (no external cancellation).
 func Run(c Campaign) Result {
+	return RunContext(context.Background(), c)
+}
+
+// RunContext executes the campaign until detection, budget exhaustion, or
+// context cancellation. On cancellation the seed feed stops immediately and
+// in-flight databases finish; the partial Result reports the work done so
+// far (Detected stays false unless a worker already found the bug).
+func RunContext(ctx context.Context, c Campaign) Result {
 	if c.MaxDatabases <= 0 {
 		c.MaxDatabases = 200
 	}
@@ -77,6 +86,9 @@ func Run(c Campaign) Result {
 		go func() {
 			defer wg.Done()
 			for seed := range next {
+				if ctx.Err() != nil {
+					return
+				}
 				cfg := c.Tester
 				cfg.Dialect = c.Dialect
 				cfg.Seed = c.BaseSeed + seed
@@ -105,6 +117,8 @@ func Run(c Campaign) Result {
 			select {
 			case next <- int64(i):
 			case <-done:
+				return
+			case <-ctx.Done():
 				return
 			}
 		}

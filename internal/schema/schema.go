@@ -86,6 +86,21 @@ type Index struct {
 	BuildCaseSensitiveLike bool
 }
 
+// LeadingColumn returns the bare column name of the index's first key
+// part, when it is a plain column reference (the shape the planner's
+// point-lookup and range-scan paths require). Double-quoted MaybeString
+// parts and expression parts report ok=false.
+func (ix *Index) LeadingColumn() (string, bool) {
+	if len(ix.Parts) == 0 {
+		return "", false
+	}
+	cr, ok := ix.Parts[0].X.(*sqlast.ColumnRef)
+	if !ok || cr.MaybeString {
+		return "", false
+	}
+	return cr.Column, true
+}
+
 // Catalog is the database schema. It is not goroutine-safe; the engine
 // serializes access.
 type Catalog struct {

@@ -82,6 +82,9 @@ func renderStmt(b *strings.Builder, s Stmt, d dialect.Dialect) {
 		renderMaintenance(b, n, d)
 	case *SetOption:
 		renderSetOption(b, n, d)
+	case *Explain:
+		b.WriteString("EXPLAIN ")
+		renderStmt(b, n.Target, d)
 	default:
 		panic(fmt.Sprintf("sqlast: cannot render %T", s))
 	}
@@ -172,9 +175,13 @@ func renderCreateIndex(b *strings.Builder, n *CreateIndex, d dialect.Dialect) {
 			b.WriteString(", ")
 		}
 		// Bare column names render unparenthesized; expression index
-		// parts need parens in MySQL and Postgres.
-		if c, ok := p.X.(*ColumnRef); ok && c.Table == "" {
+		// parts need parens in MySQL and Postgres. Double-quoted parts
+		// (MaybeString) must keep their quotes through renderExpr or the
+		// round trip turns them into ordinary column references.
+		if c, ok := p.X.(*ColumnRef); ok && c.Table == "" && !c.MaybeString {
 			b.WriteString(c.Column)
+		} else if c, ok := p.X.(*ColumnRef); ok && c.MaybeString {
+			renderExpr(b, p.X, d)
 		} else if _, ok := p.X.(*Literal); ok && d == dialect.SQLite {
 			renderExpr(b, p.X, d)
 		} else {
@@ -400,18 +407,18 @@ func renderMaintenance(b *strings.Builder, n *Maintenance, d dialect.Dialect) {
 func renderSetOption(b *strings.Builder, n *SetOption, d dialect.Dialect) {
 	if d == dialect.SQLite {
 		b.WriteString("PRAGMA ")
-		b.WriteString(n.Name)
-		b.WriteString(" = ")
-		renderExpr(b, n.Value, d)
-		return
-	}
-	b.WriteString("SET ")
-	if n.Global {
-		b.WriteString("GLOBAL ")
+	} else {
+		b.WriteString("SET ")
+		if n.Global {
+			b.WriteString("GLOBAL ")
+		}
 	}
 	b.WriteString(n.Name)
-	b.WriteString(" = ")
-	renderExpr(b, n.Value, d)
+	// A nil value is the query form (`PRAGMA name` / `SET name`).
+	if n.Value != nil {
+		b.WriteString(" = ")
+		renderExpr(b, n.Value, d)
+	}
 }
 
 // binOpToken returns the SQL spelling of a binary operator for the dialect.

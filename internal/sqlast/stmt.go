@@ -220,6 +220,12 @@ type SetOption struct {
 	Value  Expr
 }
 
+// Explain is EXPLAIN [QUERY PLAN] <stmt>: it asks the engine's planner
+// which access path each FROM source would take, without executing.
+type Explain struct {
+	Target Stmt
+}
+
 func (*CreateTable) isStmt() {}
 func (*CreateIndex) isStmt() {}
 func (*CreateView) isStmt()  {}
@@ -232,6 +238,7 @@ func (*Drop) isStmt()        {}
 func (*Select) isStmt()      {}
 func (*Maintenance) isStmt() {}
 func (*SetOption) isStmt()   {}
+func (*Explain) isStmt()     {}
 
 // Kind implementations produce the Figure 3 statement-category labels.
 
@@ -294,3 +301,6 @@ func (m *Maintenance) Kind() string {
 
 // Kind returns "OPTION".
 func (*SetOption) Kind() string { return "OPTION" }
+
+// Kind returns "EXPLAIN".
+func (*Explain) Kind() string { return "EXPLAIN" }

@@ -1,0 +1,62 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/sqlast"
+)
+
+// FuzzParseRoundTrip checks render/parse idempotence: any input the parser
+// accepts must re-render to SQL the parser accepts again, and that second
+// parse must render identically (the fixed point PQS relies on when it
+// rebuilds engine statements from rendered ASTs). The seed corpus doubles
+// as a unit test under plain `go test`.
+func FuzzParseRoundTrip(f *testing.F) {
+	seeds := []string{
+		"SELECT 1",
+		"SELECT t0.c0 FROM t0 WHERE (t0.c0 = 'B  ') ORDER BY t0.c0 DESC",
+		"CREATE TABLE t0(c0 INT PRIMARY KEY, c1 TEXT COLLATE NOCASE)",
+		`CREATE INDEX i0 ON t0("C3")`,
+		"CREATE UNIQUE INDEX i1 ON t0(c0 COLLATE RTRIM DESC) WHERE c0 NOT NULL",
+		"INSERT OR IGNORE INTO t0(c0) VALUES (1), (NULL), (x'beef')",
+		"UPDATE t0 SET c0 = c0 + 1 WHERE c0 BETWEEN 1 AND 3",
+		"DELETE FROM t0 WHERE c0 ISNULL",
+		"SELECT DISTINCT c0, COUNT(*) FROM t0 GROUP BY c0 HAVING COUNT(*) > 1 LIMIT 10 OFFSET 2",
+		"SELECT * FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0",
+		"SELECT 1 UNION SELECT 2 INTERSECT SELECT 3",
+		"EXPLAIN SELECT * FROM t0 WHERE c0 = 1 AND c1 > 'a'",
+		"EXPLAIN QUERY PLAN SELECT c0 FROM t0 WHERE c0 <= 5",
+		"ALTER TABLE t0 RENAME COLUMN c1 TO c3",
+		"VACUUM",
+		"REINDEX t0",
+		"ANALYZE",
+		"PRAGMA case_sensitive_like = 1",
+		"SELECT CASE WHEN c0 > 0 THEN 'p' ELSE 'n' END FROM t0",
+		"SELECT CAST(c0 AS TEXT) FROM t0 WHERE c0 IN (1, 2, 3)",
+		"SELECT * FROM t0 WHERE c0 LIKE '%a_' AND NOT (c1 IS NULL)",
+	}
+	for _, s := range seeds {
+		for d := range dialect.All {
+			f.Add(s, uint8(d))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string, db uint8) {
+		d := dialect.All[int(db)%len(dialect.All)]
+		stmts, err := Parse(src, d)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		for _, st := range stmts {
+			first := sqlast.SQL(st, d)
+			st2, err := ParseOne(first, d)
+			if err != nil {
+				t.Fatalf("render of accepted input does not re-parse\ninput: %q\nrender: %q\nerr: %v", src, first, err)
+			}
+			second := sqlast.SQL(st2, d)
+			if first != second {
+				t.Fatalf("render not idempotent\ninput: %q\nfirst: %q\nsecond: %q", src, first, second)
+			}
+		}
+	})
+}

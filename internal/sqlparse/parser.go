@@ -209,6 +209,20 @@ func (p *parser) parseStmt() (sqlast.Stmt, error) {
 		p.next()
 		p.acceptKeyword("PLANS")
 		return &sqlast.Maintenance{Op: sqlast.MaintDiscard}, nil
+	case "EXPLAIN":
+		p.next()
+		// Accept SQLite's EXPLAIN QUERY PLAN spelling.
+		if p.peekKeyword("QUERY") {
+			p.next()
+			if err := p.expectKeyword("PLAN"); err != nil {
+				return nil, err
+			}
+		}
+		target, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Explain{Target: target}, nil
 	case "PRAGMA":
 		p.next()
 		return p.parseSetTail(false)

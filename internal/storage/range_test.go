@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlval"
+)
+
+func buildIndex(keys ...sqlval.Value) *IndexData {
+	ix := NewIndexData([]sqlval.Collation{sqlval.CollBinary}, nil)
+	for i, k := range keys {
+		ix.Insert([]sqlval.Value{k}, int64(i+1))
+	}
+	return ix
+}
+
+func TestRangeBounds(t *testing.T) {
+	ix := buildIndex(
+		sqlval.Int(1), sqlval.Int(3), sqlval.Int(3), sqlval.Int(5),
+		sqlval.Int(7), sqlval.Null(), sqlval.Text("z"),
+	)
+	cases := []struct {
+		lo, hi *Bound
+		want   []int64
+	}{
+		{&Bound{Key: sqlval.Int(3), Inclusive: true}, &Bound{Key: sqlval.Int(5), Inclusive: true}, []int64{2, 3, 4}},
+		{&Bound{Key: sqlval.Int(3)}, &Bound{Key: sqlval.Int(7)}, []int64{4}},
+		{&Bound{Key: sqlval.Int(1), Inclusive: true}, nil, []int64{1, 2, 3, 4, 5, 7}}, // open top includes text
+		{nil, &Bound{Key: sqlval.Int(3)}, []int64{6, 1}},                              // open bottom includes NULL
+		{&Bound{Key: sqlval.Int(100), Inclusive: true}, &Bound{Key: sqlval.Int(0)}, nil},
+	}
+	for i, c := range cases {
+		got := ix.Range(c.lo, c.hi)
+		if len(got) != len(c.want) {
+			t.Errorf("case %d: Range = %v, want %v", i, got, c.want)
+			continue
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Errorf("case %d: Range = %v, want %v", i, got, c.want)
+				break
+			}
+		}
+		if n := ix.RangeCount(c.lo, c.hi); n != len(c.want) {
+			t.Errorf("case %d: RangeCount = %d, want %d", i, n, len(c.want))
+		}
+	}
+}
+
+func TestPrefixCountMatchesEqualPrefix(t *testing.T) {
+	ix := NewIndexData([]sqlval.Collation{sqlval.CollNoCase, sqlval.CollBinary}, nil)
+	keys := []string{"a", "A", "b", "B", "b", "c"}
+	for i, k := range keys {
+		ix.Insert([]sqlval.Value{sqlval.Text(k), sqlval.Int(int64(i))}, int64(i+1))
+	}
+	for _, probe := range []string{"a", "B", "c", "x"} {
+		p := []sqlval.Value{sqlval.Text(probe)}
+		if got, want := ix.PrefixCount(p), len(ix.EqualPrefix(p)); got != want {
+			t.Errorf("PrefixCount(%q) = %d, EqualPrefix = %d", probe, got, want)
+		}
+	}
+	if n := ix.PrefixCount([]sqlval.Value{sqlval.Text("b")}); n != 3 {
+		t.Errorf("NOCASE prefix count for 'b' = %d, want 3", n)
+	}
+}
+
+func TestLeadingClassChecks(t *testing.T) {
+	num := buildIndex(sqlval.Null(), sqlval.Int(1), sqlval.Real(2.5), sqlval.Bool(true))
+	if !num.NumericLeadingOnly() || num.TextLeadingOnly() {
+		t.Errorf("numeric index misclassified: numeric=%v text=%v", num.NumericLeadingOnly(), num.TextLeadingOnly())
+	}
+	txt := buildIndex(sqlval.Null(), sqlval.Text("a"), sqlval.Text("b"))
+	if txt.NumericLeadingOnly() || !txt.TextLeadingOnly() {
+		t.Errorf("text index misclassified: numeric=%v text=%v", txt.NumericLeadingOnly(), txt.TextLeadingOnly())
+	}
+	mixed := buildIndex(sqlval.Int(1), sqlval.Text("a"))
+	if mixed.NumericLeadingOnly() || mixed.TextLeadingOnly() {
+		t.Errorf("mixed index misclassified: numeric=%v text=%v", mixed.NumericLeadingOnly(), mixed.TextLeadingOnly())
+	}
+	empty := NewIndexData([]sqlval.Collation{sqlval.CollBinary}, nil)
+	if !empty.NumericLeadingOnly() || !empty.TextLeadingOnly() {
+		t.Error("empty index should satisfy both class checks")
+	}
+}
+
+// TestRangeMatchesLinearScan cross-checks the binary-search range scan
+// against a brute-force filter over random integer keys.
+func TestRangeMatchesLinearScan(t *testing.T) {
+	f := func(keys []int8, lo, hi int8, loIncl, hiIncl bool) bool {
+		ix := NewIndexData([]sqlval.Collation{sqlval.CollBinary}, nil)
+		for i, k := range keys {
+			ix.Insert([]sqlval.Value{sqlval.Int(int64(k))}, int64(i+1))
+		}
+		lb := &Bound{Key: sqlval.Int(int64(lo)), Inclusive: loIncl}
+		ub := &Bound{Key: sqlval.Int(int64(hi)), Inclusive: hiIncl}
+		got := ix.Range(lb, ub)
+		want := map[int64]bool{}
+		for _, e := range ix.Entries() {
+			k := e.Key[0].Int64()
+			okLo := k > int64(lo) || (loIncl && k == int64(lo))
+			okHi := k < int64(hi) || (hiIncl && k == int64(hi))
+			if okLo && okHi {
+				want[e.Rowid] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, rid := range got {
+			if !want[rid] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

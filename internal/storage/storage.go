@@ -231,17 +231,146 @@ func (ix *IndexData) Equal(key []sqlval.Value) []int64 {
 }
 
 // EqualPrefix returns the rowids whose leading key parts equal prefix.
+// Entries sharing a prefix are contiguous in key order, so the lookup is
+// two binary searches plus the matching span.
 func (ix *IndexData) EqualPrefix(prefix []sqlval.Value) []int64 {
+	lo, hi := ix.prefixSpan(prefix)
 	var out []int64
-	for _, e := range ix.entries {
-		if len(e.Key) < len(prefix) {
+	for i := lo; i < hi; i++ {
+		if len(ix.entries[i].Key) < len(prefix) {
 			continue
 		}
-		if ix.CompareKeys(e.Key[:len(prefix)], prefix) == 0 {
-			out = append(out, e.Rowid)
-		}
+		out = append(out, ix.entries[i].Rowid)
 	}
 	return out
+}
+
+// comparePrefix orders an entry's leading parts against a search prefix
+// under the index collations/directions. An entry shorter than the prefix
+// compares by its available parts only (it sorts with its group).
+func (ix *IndexData) comparePrefix(key, prefix []sqlval.Value) int {
+	if len(key) > len(prefix) {
+		key = key[:len(prefix)]
+	}
+	return ix.CompareKeys(key, prefix)
+}
+
+// prefixSpan returns the half-open entry range [lo, hi) whose leading key
+// parts compare equal to prefix.
+func (ix *IndexData) prefixSpan(prefix []sqlval.Value) (int, int) {
+	lo := sort.Search(len(ix.entries), func(i int) bool {
+		return ix.comparePrefix(ix.entries[i].Key, prefix) >= 0
+	})
+	hi := sort.Search(len(ix.entries), func(i int) bool {
+		return ix.comparePrefix(ix.entries[i].Key, prefix) > 0
+	})
+	return lo, hi
+}
+
+// PrefixCount reports how many entries share the given leading key parts
+// (planner cost estimation; O(log n)).
+func (ix *IndexData) PrefixCount(prefix []sqlval.Value) int {
+	lo, hi := ix.prefixSpan(prefix)
+	return hi - lo
+}
+
+// Bound is one end of a leading-key-part range scan. A nil Key leaves that
+// end open.
+type Bound struct {
+	Key       sqlval.Value
+	Inclusive bool
+}
+
+// rangeSpan locates the half-open entry range [lo, hi) whose leading key
+// part falls between the bounds under the index's part-0 collation. It is
+// only meaningful when the leading part is ascending.
+func (ix *IndexData) rangeSpan(lo, hi *Bound) (int, int) {
+	start := 0
+	if lo != nil {
+		k := []sqlval.Value{lo.Key}
+		start = sort.Search(len(ix.entries), func(i int) bool {
+			c := ix.comparePrefix(ix.entries[i].Key, k)
+			if lo.Inclusive {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := len(ix.entries)
+	if hi != nil {
+		k := []sqlval.Value{hi.Key}
+		end = sort.Search(len(ix.entries), func(i int) bool {
+			c := ix.comparePrefix(ix.entries[i].Key, k)
+			if hi.Inclusive {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
+// RangeCount reports how many entries a leading-part range scan would
+// visit (planner cost estimation; O(log n)).
+func (ix *IndexData) RangeCount(lo, hi *Bound) int {
+	start, end := ix.rangeSpan(lo, hi)
+	return end - start
+}
+
+// Range returns the rowids whose leading key part lies between lo and hi
+// (either may be nil for an open end), in entry order. NULL keys sort
+// before every bound and are excluded unless the range is open below.
+func (ix *IndexData) Range(lo, hi *Bound) []int64 {
+	start, end := ix.rangeSpan(lo, hi)
+	var out []int64
+	for i := start; i < end; i++ {
+		out = append(out, ix.entries[i].Rowid)
+	}
+	return out
+}
+
+// NumericLeadingOnly reports whether every entry's leading key part is
+// NULL or numeric-class. Key order ranks NULL < numeric < text < blob, so
+// with an ascending leading part only the last entry needs inspection.
+// The planner uses this in the coercing dialects, where raw index order
+// only agrees with comparison order over numeric keys.
+func (ix *IndexData) NumericLeadingOnly() bool {
+	if len(ix.entries) == 0 {
+		return true
+	}
+	last := ix.entries[len(ix.entries)-1].Key
+	if len(last) == 0 {
+		return false
+	}
+	switch last[0].Kind() {
+	case sqlval.KText, sqlval.KBlob:
+		return false
+	}
+	return true
+}
+
+// TextLeadingOnly reports whether every non-NULL leading key part is text.
+// With an ascending leading part, text keys form the ordered tail before
+// blobs, so the first non-NULL entry and the last entry bracket the check.
+func (ix *IndexData) TextLeadingOnly() bool {
+	n := len(ix.entries)
+	if n == 0 {
+		return true
+	}
+	first := sort.Search(n, func(i int) bool {
+		return len(ix.entries[i].Key) > 0 && !ix.entries[i].Key[0].IsNull()
+	})
+	if first == n {
+		return true // all-NULL keys
+	}
+	lo, hi := ix.entries[first].Key, ix.entries[n-1].Key
+	if len(lo) == 0 || len(hi) == 0 {
+		return false
+	}
+	return lo[0].Kind() == sqlval.KText && hi[0].Kind() == sqlval.KText
 }
 
 // Entries exposes the sorted entries (read-only) for scans and integrity
