@@ -27,6 +27,8 @@ import (
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sqlparse"
+	"repro/internal/sut"
+	"repro/internal/sut/memengine"
 )
 
 // corpusBudget is the per-fault database budget for campaign benches.
@@ -175,7 +177,7 @@ func BenchmarkTable4SizeCoverage(b *testing.B) {
 		merged := map[string]int{}
 		for seed := int64(1); seed <= 30; seed++ {
 			e := engine.Open(d)
-			tester := core.NewTesterWithEngine(core.Config{Dialect: d, Seed: seed, QueriesPerDB: 10}, e)
+			tester := core.NewTesterWithDB(core.Config{Seed: seed, QueriesPerDB: 10}, memengine.Wrap(e, sut.Session{}))
 			if _, err := tester.RunBoundDatabase(); err != nil {
 				b.Fatal(err)
 			}
@@ -278,6 +280,47 @@ func BenchmarkThroughputStatements(b *testing.B) {
 			elapsed := time.Since(start).Seconds()
 			if elapsed > 0 {
 				b.ReportMetric(float64(tester.Stats().Statements)/elapsed, "stmts/s")
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignThroughput compares the sut.DB execution modes in the
+// campaign hot loop: the ExecAST fast path (generated ASTs run directly,
+// traces rendered only on detection) against wire-fidelity mode (every
+// statement rendered and reparsed, the pre-boundary behaviour). Both
+// report databases/sec so the trajectory stays visible across PRs; the
+// fast path is expected to stay ≥1.5× ahead.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		wire bool
+	}{
+		{"FastPath", false},
+		{"WireFidelity", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for _, d := range dialect.All {
+				b.Run(d.String(), func(b *testing.B) {
+					tester := core.NewTester(core.Config{
+						Dialect:      d,
+						Seed:         1,
+						QueriesPerDB: 20,
+						WireFidelity: mode.wire,
+					})
+					b.ResetTimer()
+					start := time.Now()
+					for i := 0; i < b.N; i++ {
+						if _, err := tester.RunDatabase(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					elapsed := time.Since(start).Seconds()
+					if elapsed > 0 {
+						b.ReportMetric(float64(b.N)/elapsed, "dbs/s")
+						b.ReportMetric(float64(tester.Stats().Statements)/elapsed, "stmts/s")
+					}
+				})
 			}
 		})
 	}

@@ -21,6 +21,8 @@ import (
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sqlparse"
+	"repro/internal/sut"
+	"repro/internal/sut/memengine"
 )
 
 var markdown = flag.Bool("markdown", false, "emit Markdown instead of plain text")
@@ -125,7 +127,7 @@ func table4() {
 		perDialect[d] = map[string]bool{}
 		for seed := int64(1); seed <= 30; seed++ {
 			e := engine.Open(d)
-			tester := core.NewTesterWithEngine(core.Config{Dialect: d, Seed: seed, QueriesPerDB: 10}, e)
+			tester := core.NewTesterWithDB(core.Config{Seed: seed, QueriesPerDB: 10}, memengine.Wrap(e, sut.Session{}))
 			if _, err := tester.RunBoundDatabase(); err != nil {
 				continue
 			}

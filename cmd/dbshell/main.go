@@ -1,14 +1,14 @@
-// Command dbshell is a minimal interactive shell over the engine
-// substrate, for manual exploration of the dialects and the injected bug
-// corpus.
+// Command dbshell is a minimal interactive shell over a SUT backend, for
+// manual exploration of the dialects and the injected bug corpus.
 //
 // Usage:
 //
-//	dbshell -dialect sqlite [-fault sqlite.partial-index-not-null]
+//	dbshell -dialect sqlite [-backend memengine|wire] [-fault sqlite.partial-index-not-null]
 //
 // Statements end with ';'. Meta commands: .tables, .schema <t>,
-// .plan <select>, .quit. `EXPLAIN [QUERY PLAN] <select>;` also works as a
-// statement and reports the planner's chosen access path per FROM source.
+// .plan <select>, .backend, .quit. `EXPLAIN [QUERY PLAN] <select>;` also
+// works as a statement and reports the planner's chosen access path per
+// FROM source.
 package main
 
 import (
@@ -19,14 +19,18 @@ import (
 	"strings"
 
 	"repro/internal/dialect"
-	"repro/internal/engine"
 	"repro/internal/faults"
+	"repro/internal/sut"
+	_ "repro/internal/sut/memengine"
+	_ "repro/internal/sut/wire"
 )
 
 func main() {
 	var (
 		dialectFlag = flag.String("dialect", "sqlite", "dialect profile")
+		backendFlag = flag.String("backend", sut.DefaultBackend, "SUT backend (memengine, wire)")
 		faultFlag   = flag.String("fault", "", "comma-separated faults to inject")
+		noPlanner   = flag.Bool("no-planner", false, "disable index access paths")
 	)
 	flag.Parse()
 
@@ -35,7 +39,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	var opts []engine.Option
+	sess := sut.Session{Dialect: d, NoPlanner: *noPlanner}
 	if *faultFlag != "" {
 		fs := faults.NewSet()
 		for _, name := range strings.Split(*faultFlag, ",") {
@@ -46,10 +50,16 @@ func main() {
 			}
 			fs.Enable(f)
 		}
-		opts = append(opts, engine.WithFaults(fs))
+		sess.Faults = fs
 	}
-	e := engine.Open(d, opts...)
-	fmt.Printf("dbshell: %s profile; end statements with ';', .quit to exit\n", d.DisplayName())
+	db, err := sut.Open(*backendFlag, sess)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	fmt.Printf("dbshell: %s profile on %q backend; end statements with ';', .quit to exit\n",
+		d.DisplayName(), *backendFlag)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -59,7 +69,7 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, ".") {
-			if !meta(e, trimmed) {
+			if !meta(db, *backendFlag, trimmed) {
 				return
 			}
 			fmt.Print("> ")
@@ -68,27 +78,30 @@ func main() {
 		buf.WriteString(line)
 		buf.WriteString("\n")
 		if strings.HasSuffix(trimmed, ";") {
-			run(e, buf.String())
+			run(db, buf.String())
 			buf.Reset()
 		}
 		fmt.Print("> ")
 	}
 }
 
-func meta(e *engine.Engine, cmd string) bool {
+func meta(db sut.DB, backend, cmd string) bool {
+	intro := db.Introspect()
 	switch {
 	case cmd == ".quit" || cmd == ".exit":
 		return false
+	case cmd == ".backend":
+		fmt.Printf("%s (registered: %s)\n", backend, strings.Join(sut.Drivers(), ", "))
 	case cmd == ".tables":
-		for _, t := range e.Tables() {
+		for _, t := range intro.Tables() {
 			fmt.Println(t)
 		}
-		for _, v := range e.Views() {
+		for _, v := range intro.Views() {
 			fmt.Println(v, "(view)")
 		}
 	case strings.HasPrefix(cmd, ".schema"):
 		name := strings.TrimSpace(strings.TrimPrefix(cmd, ".schema"))
-		info, err := e.Describe(name)
+		info, err := intro.Describe(name)
 		if err != nil {
 			fmt.Println("error:", err)
 			return true
@@ -96,27 +109,30 @@ func meta(e *engine.Engine, cmd string) bool {
 		for _, c := range info.Columns {
 			fmt.Printf("  %s %s (affinity %s, collate %s)\n", c.Name, c.TypeName, c.Affinity, c.Collate)
 		}
-		for _, ix := range e.Indexes(name) {
+		for _, ix := range intro.Indexes(name) {
 			fmt.Printf("  index %s\n", ix)
 		}
 	case strings.HasPrefix(cmd, ".plan"):
 		query := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(cmd, ".plan")), ";")
-		paths, err := e.PlanSQL(query)
+		paths, err := db.Plan(query)
 		if err != nil {
 			fmt.Println("error:", err)
 			return true
 		}
 		for _, p := range paths {
-			fmt.Println(" ", p.Detail())
+			fmt.Println(" ", p)
 		}
 	default:
-		fmt.Println("meta commands: .tables, .schema <t>, .plan <select>, .quit")
+		fmt.Println("meta commands: .tables, .schema <t>, .plan <select>, .backend, .quit")
 	}
 	return true
 }
 
-func run(e *engine.Engine, sql string) {
-	res, err := e.Exec(sql)
+func run(db sut.DB, sql string) {
+	// The shell cannot know whether a statement returns rows, so it always
+	// uses the query path; on the wire backend DML then reports no
+	// affected-row count (database/sql queries cannot carry one).
+	res, err := db.Query(sql)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -7,7 +7,13 @@
 //	sqlancer-go -dialect sqlite -fault sqlite.partial-index-not-null -max-dbs 500
 //	sqlancer-go -dialect mysql -mode fuzz -max-dbs 200
 //	sqlancer-go -mode diff -dialect sqlite -right postgres
+//	sqlancer-go -backend wire -dialect sqlite -fault sqlite.partial-index-not-null
 //	sqlancer-go -list-faults
+//
+// -backend selects the SUT driver (memengine drives the engine in
+// process with the ExecAST fast path; wire goes through database/sql);
+// -wire-fidelity keeps the memengine backend but re-renders and reparses
+// every statement, for parser coverage.
 package main
 
 import (
@@ -22,6 +28,9 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fuzz"
 	"repro/internal/runner"
+	"repro/internal/sut"
+	_ "repro/internal/sut/memengine"
+	_ "repro/internal/sut/wire"
 )
 
 func main() {
@@ -37,6 +46,8 @@ func main() {
 		depth       = flag.Int("depth", 3, "max expression depth")
 		queries     = flag.Int("queries", 30, "pivot queries per database")
 		doReduce    = flag.Bool("reduce", true, "reduce detected test cases")
+		backend     = flag.String("backend", sut.DefaultBackend, "SUT backend: memengine, wire")
+		wireFid     = flag.Bool("wire-fidelity", false, "render+reparse each statement instead of the AST fast path")
 		listFaults  = flag.Bool("list-faults", false, "print the fault registry and exit")
 	)
 	flag.Parse()
@@ -56,15 +67,20 @@ func main() {
 
 	switch *mode {
 	case "pqs":
-		runPQS(d, *faultFlag, *maxDBs, *workers, *seed, *rows, *depth, *queries, *doReduce)
+		runPQS(d, *faultFlag, *backend, *wireFid, *maxDBs, *workers, *seed, *rows, *depth, *queries, *doReduce)
 	case "fuzz":
-		runFuzz(d, *faultFlag, *maxDBs, *seed, *queries)
+		runFuzz(d, *faultFlag, *backend, *wireFid, *maxDBs, *seed, *queries)
 	case "diff":
+		if *wireFid {
+			// The differential baseline is already string-based end to
+			// end; there is no AST fast path to opt out of.
+			fatal(fmt.Errorf("-wire-fidelity does not apply to -mode diff"))
+		}
 		r, err := dialect.Parse(*rightFlag)
 		if err != nil {
 			fatal(err)
 		}
-		runDiff(d, r, *faultFlag, *maxDBs, *seed)
+		runDiff(d, r, *faultFlag, *backend, *maxDBs, *seed)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
@@ -86,7 +102,7 @@ func parseFault(name string) faults.Fault {
 	return f
 }
 
-func runPQS(d dialect.Dialect, faultName string, maxDBs, workers int, seed int64, rows, depth, queries int, doReduce bool) {
+func runPQS(d dialect.Dialect, faultName, backend string, wireFid bool, maxDBs, workers int, seed int64, rows, depth, queries int, doReduce bool) {
 	res := runner.Run(runner.Campaign{
 		Dialect:      d,
 		Fault:        parseFault(faultName),
@@ -98,6 +114,8 @@ func runPQS(d dialect.Dialect, faultName string, maxDBs, workers int, seed int64
 			MaxRows:      rows,
 			MaxExprDepth: depth,
 			QueriesPerDB: queries,
+			Backend:      backend,
+			WireFidelity: wireFid,
 		},
 	})
 	fmt.Printf("dialect=%s fault=%s databases=%d statements=%d queries=%d elapsed=%s\n",
@@ -113,13 +131,13 @@ func runPQS(d dialect.Dialect, faultName string, maxDBs, workers int, seed int64
 	}
 }
 
-func runFuzz(d dialect.Dialect, faultName string, maxDBs int, seed int64, queries int) {
+func runFuzz(d dialect.Dialect, faultName, backend string, wireFid bool, maxDBs int, seed int64, queries int) {
 	var fs *faults.Set
 	if f := parseFault(faultName); f != "" {
 		fs = faults.NewSet(f)
 	}
 	for i := 0; i < maxDBs; i++ {
-		f := fuzz.New(fuzz.Config{Dialect: d, Seed: seed + int64(i), Faults: fs, QueriesPerDB: queries})
+		f := fuzz.New(fuzz.Config{Dialect: d, Seed: seed + int64(i), Faults: fs, QueriesPerDB: queries, Backend: backend, WireFidelity: wireFid})
 		bug, err := f.RunDatabase()
 		if err != nil {
 			fatal(err)
@@ -135,16 +153,17 @@ func runFuzz(d dialect.Dialect, faultName string, maxDBs int, seed int64, querie
 	fmt.Printf("fuzzer: no detection in %d databases (logic bugs are invisible to fuzzing)\n", maxDBs)
 }
 
-func runDiff(left, right dialect.Dialect, faultName string, maxDBs int, seed int64) {
+func runDiff(left, right dialect.Dialect, faultName, backend string, maxDBs int, seed int64) {
 	var fs *faults.Set
 	if f := parseFault(faultName); f != "" {
 		fs = faults.NewSet(f)
 	}
 	for i := 0; i < maxDBs; i++ {
 		s := diffdb.New(diffdb.Config{
-			Pair:   [2]dialect.Dialect{left, right},
-			Seed:   seed + int64(i),
-			Faults: fs,
+			Pair:    [2]dialect.Dialect{left, right},
+			Seed:    seed + int64(i),
+			Faults:  fs,
+			Backend: backend,
 		})
 		m, err := s.RunDatabase()
 		if err != nil {

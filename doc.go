@@ -6,6 +6,15 @@
 // campaign runner) and two baselines (a SQLsmith-style fuzzer and a
 // RAGS-style differential tester).
 //
+// The tester stack talks to the database under test only through the
+// backend-agnostic SUT boundary (internal/sut): open a database with
+//
+//	db, err := sut.Open("memengine", sut.Session{Dialect: dialect.SQLite})
+//
+// and swap "memengine" for "wire" to drive the same engine through
+// database/sql instead. A shared conformance suite holds the two backends
+// to identical behaviour.
+//
 // The root package holds the benchmark harness (bench_test.go) that
 // regenerates every table and figure of the paper's evaluation; the
 // implementation lives under internal/ (see DESIGN.md for the map).

@@ -1,9 +1,11 @@
 // Quickstart: reproduce the paper's Listing 1 end to end.
 //
-// We open a SQLite-profile engine with the Listing 1 bug injected (a
-// partial index incorrectly used for `IS NOT <literal>` predicates), run
-// the exact statements from the paper, and then let PQS find the same bug
-// class automatically from scratch.
+// We open a SQLite-profile database under test with the Listing 1 bug
+// injected (a partial index incorrectly used for `IS NOT <literal>`
+// predicates), run the exact statements from the paper, and then let PQS
+// find the same bug class automatically from scratch. The database is
+// opened through the backend-agnostic SUT boundary — swap "memengine"
+// for "wire" to drive the same engine through database/sql instead.
 package main
 
 import (
@@ -12,23 +14,29 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dialect"
-	"repro/internal/engine"
 	"repro/internal/faults"
+	"repro/internal/sut"
+	_ "repro/internal/sut/memengine"
+	_ "repro/internal/sut/wire"
 )
 
 func main() {
 	// --- Part 1: the paper's Listing 1, verbatim -------------------------
 	fs := faults.NewSet(faults.PartialIndexNotNull)
-	e := engine.Open(dialect.SQLite, engine.WithFaults(fs))
+	db, err := sut.Open("memengine", sut.Session{Dialect: dialect.SQLite, Faults: fs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
 
 	setup := `
 		CREATE TABLE t0(c0);
 		CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL;
 		INSERT INTO t0(c0) VALUES (0), (1), (2), (3), (NULL);`
-	if _, err := e.Exec(setup); err != nil {
+	if _, err := db.Exec(setup); err != nil {
 		log.Fatal(err)
 	}
-	res, err := e.Exec(`SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1`)
+	res, err := db.Query(`SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1`)
 	if err != nil {
 		log.Fatal(err)
 	}

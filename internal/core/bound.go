@@ -1,31 +1,33 @@
 package core
 
-import "repro/internal/engine"
+import "repro/internal/sut"
 
-// BoundTester is a Tester pinned to a caller-provided engine instance, so
-// the caller can inspect the engine afterwards (feature coverage for the
-// Table 4 reproduction, shells, examples).
+// BoundTester is a Tester pinned to a caller-provided database under
+// test, so the caller can inspect the backend afterwards (feature
+// coverage for the Table 4 reproduction, shells, examples).
 type BoundTester struct {
 	*Tester
-	eng *engine.Engine
+	db sut.DB
 }
 
-// NewTesterWithEngine creates a tester that runs every database lifecycle
-// against the given engine instead of opening fresh ones. The engine's
-// fault set takes precedence over cfg.Faults.
-func NewTesterWithEngine(cfg Config, e *engine.Engine) *BoundTester {
-	cfg.Dialect = e.Dialect()
-	cfg.Faults = e.Faults()
-	return &BoundTester{Tester: NewTester(cfg), eng: e}
+// NewTesterWithDB creates a tester that runs every database lifecycle
+// against the given DB instead of opening fresh ones. The DB session's
+// dialect and fault set take precedence over cfg's.
+func NewTesterWithDB(cfg Config, db sut.DB) *BoundTester {
+	sess := db.Session()
+	cfg.Dialect = sess.Dialect
+	cfg.Faults = sess.Faults
+	cfg.WireFidelity = sess.WireFidelity
+	return &BoundTester{Tester: NewTester(cfg), db: db}
 }
 
-// Engine exposes the bound engine.
-func (bt *BoundTester) Engine() *engine.Engine { return bt.eng }
+// DB exposes the bound database under test.
+func (bt *BoundTester) DB() sut.DB { return bt.db }
 
-// RunBoundDatabase is RunDatabase against the bound engine. Unlike
+// RunBoundDatabase is RunDatabase against the bound DB. Unlike
 // RunDatabase it does not reset state between calls — repeated calls keep
 // growing the same database, which is occasionally useful for coverage
 // accumulation but not for campaigns.
 func (bt *BoundTester) RunBoundDatabase() (*Bug, error) {
-	return bt.runOn(bt.eng)
+	return bt.runOn(bt.db)
 }

@@ -12,7 +12,6 @@ import (
 	"strings"
 
 	"repro/internal/dialect"
-	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/interp"
@@ -20,6 +19,13 @@ import (
 	"repro/internal/schema"
 	"repro/internal/sqlast"
 	"repro/internal/sqlval"
+	"repro/internal/sut"
+	// The blank import registers sut.DefaultBackend so RunDatabase works
+	// out of the box from any consumer. This deliberately links the
+	// in-process engine into the tester stack: it is this repo's only
+	// in-tree DBMS. A build targeting solely external backends would
+	// move this registration to its main package.
+	_ "repro/internal/sut/memengine"
 	"repro/internal/xerr"
 )
 
@@ -28,6 +34,15 @@ type Config struct {
 	Dialect dialect.Dialect
 	Seed    int64
 	Faults  *faults.Set
+
+	// Backend names the sut driver databases are opened on ("" selects
+	// sut.DefaultBackend, the in-process engine).
+	Backend string
+	// WireFidelity switches the campaign hot loop from the ExecAST fast
+	// path back to the full render→reparse string round trip, for parser
+	// coverage (measurably slower; BenchmarkCampaignThroughput tracks the
+	// gap).
+	WireFidelity bool
 
 	// MaxExprDepth bounds generated expression trees (Algorithm 1's
 	// maxdepth). Default 3.
@@ -123,6 +138,12 @@ type Tester struct {
 	cfg   Config
 	rnd   *gen.Rand
 	stats *Stats
+
+	// colsBuf/hintsBuf are bindPivot scratch reused across the pivot
+	// iterations of a lifecycle (a Tester is single-threaded; nothing
+	// retains these past one iteration).
+	colsBuf  []gen.ColumnPick
+	hintsBuf []sqlval.Value
 }
 
 // NewTester creates a tester.
@@ -144,22 +165,63 @@ type bugSignal struct{ bug *Bug }
 // Error implements the error interface.
 func (b *bugSignal) Error() string { return "oracle detection: " + b.bug.Message }
 
+// session maps tester configuration onto per-connection SUT options.
+func (c Config) session() sut.Session {
+	return sut.Session{
+		Dialect:      c.Dialect,
+		Faults:       c.Faults,
+		WireFidelity: c.WireFidelity,
+	}
+}
+
+// trace accumulates the statement sequence of one database lifecycle as
+// ASTs and renders SQL only when a detection needs a reproduction trace —
+// rendering every statement in the hot loop costs about as much as
+// executing it (the engine never mutates statements it executes, so the
+// ASTs stay faithful).
+type trace struct {
+	d     dialect.Dialect
+	stmts []sqlast.Stmt
+}
+
+func (tr *trace) add(st sqlast.Stmt) { tr.stmts = append(tr.stmts, st) }
+
+func (tr *trace) pop() { tr.stmts = tr.stmts[:len(tr.stmts)-1] }
+
+// render materializes the trace as SQL text.
+func (tr *trace) render() []string { return RenderStmts(tr.stmts, tr.d) }
+
+// RenderStmts renders a statement sequence to SQL text — the one place
+// reproduction traces are materialized (core and fuzz both defer
+// rendering until a detection fires).
+func RenderStmts(stmts []sqlast.Stmt, d dialect.Dialect) []string {
+	out := make([]string, len(stmts))
+	for i, st := range stmts {
+		out[i] = sqlast.SQL(st, d)
+	}
+	return out
+}
+
 // RunDatabase executes one full database lifecycle (steps 1–7, looped) and
 // returns the first detection, or nil.
 func (t *Tester) RunDatabase() (*Bug, error) {
-	return t.runOn(engine.Open(t.cfg.Dialect, engine.WithFaults(t.cfg.Faults)))
+	db, err := sut.Open(t.cfg.Backend, t.cfg.session())
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	return t.runOn(db)
 }
 
-// runOn runs one lifecycle against a specific engine instance.
-func (t *Tester) runOn(e *engine.Engine) (*Bug, error) {
+// runOn runs one lifecycle against a specific database under test.
+func (t *Tester) runOn(db sut.DB) (*Bug, error) {
 	t.stats.Databases++
-	var trace []string
+	tr := &trace{d: t.cfg.Dialect}
 
 	apply := func(st sqlast.Stmt) error {
-		sql := sqlast.SQL(st, t.cfg.Dialect)
-		trace = append(trace, sql)
+		tr.add(st)
 		t.stats.Statements++
-		_, err := e.Exec(sql)
+		_, err := db.ExecAST(st)
 		switch v := oracle.Classify(st, err, t.cfg.Dialect); v {
 		case oracle.VerdictBug, oracle.VerdictCrash:
 			code, _ := xerr.CodeOf(err)
@@ -167,7 +229,7 @@ func (t *Tester) runOn(e *engine.Engine) (*Bug, error) {
 				Oracle:  oracle.OracleFor(v),
 				Message: err.Error(),
 				Code:    code,
-				Trace:   append([]string(nil), trace...),
+				Trace:   tr.render(),
 			}}
 		case oracle.VerdictArtifact:
 			t.stats.Artifacts++
@@ -177,7 +239,7 @@ func (t *Tester) runOn(e *engine.Engine) (*Bug, error) {
 
 	sg := &gen.StateGen{
 		Rnd:       t.rnd,
-		E:         e,
+		E:         db.Introspect(),
 		MinRows:   t.cfg.MinRows,
 		MaxRows:   t.cfg.MaxRows,
 		MaxTables: t.cfg.MaxTables,
@@ -189,8 +251,14 @@ func (t *Tester) runOn(e *engine.Engine) (*Bug, error) {
 		return nil, err
 	}
 
+	// Snapshot the pivot sources once per lifecycle: the pivot loop below
+	// executes only SELECTs, so schema and stored rows are constant and
+	// re-introspecting (copying every row) on each of the QueriesPerDB
+	// iterations would be pure overhead.
+	snap := snapshotPivotSources(db.Introspect())
+
 	for q := 0; q < t.cfg.QueriesPerDB; q++ {
-		bug, err := t.pivotIteration(e, sg, &trace)
+		bug, err := t.pivotIteration(db, snap, sg, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -201,6 +269,31 @@ func (t *Tester) runOn(e *engine.Engine) (*Bug, error) {
 	return nil, nil
 }
 
+// pivotSource is one table's cached introspection for a database
+// lifecycle: name, schema, and ground-truth rows.
+type pivotSource struct {
+	table string
+	info  schema.TableInfo
+	rows  [][]sqlval.Value
+}
+
+// snapshotPivotSources captures every non-empty table's pivot material.
+func snapshotPivotSources(intro sut.Introspection) []pivotSource {
+	var out []pivotSource
+	for _, tn := range intro.Tables() {
+		rows := intro.RawRows(tn)
+		if len(rows) == 0 {
+			continue
+		}
+		info, err := intro.Describe(tn)
+		if err != nil {
+			continue
+		}
+		out = append(out, pivotSource{table: tn, info: info, rows: rows})
+	}
+	return out
+}
+
 // pivotRow is one table's pivot selection.
 type pivotRow struct {
 	table string
@@ -209,22 +302,15 @@ type pivotRow struct {
 }
 
 // pivotIteration runs steps 2–7 once.
-func (t *Tester) pivotIteration(e *engine.Engine, sg *gen.StateGen, trace *[]string) (*Bug, error) {
+func (t *Tester) pivotIteration(db sut.DB, snap []pivotSource, sg *gen.StateGen, tr *trace) (*Bug, error) {
+	intro := db.Introspect()
 	// Step 2: select a pivot row from each table.
-	var pivots []pivotRow
-	for _, tn := range e.Tables() {
-		rows := e.RawRows(tn)
-		if len(rows) == 0 {
-			continue
-		}
-		info, err := e.Describe(tn)
-		if err != nil {
-			continue
-		}
+	pivots := make([]pivotRow, 0, len(snap))
+	for _, src := range snap {
 		pivots = append(pivots, pivotRow{
-			table: tn,
-			info:  info,
-			vals:  rows[t.rnd.Intn(len(rows))],
+			table: src.table,
+			info:  src.info,
+			vals:  src.rows[t.rnd.Intn(len(src.rows))],
 		})
 	}
 	if len(pivots) == 0 {
@@ -236,12 +322,12 @@ func (t *Tester) pivotIteration(e *engine.Engine, sg *gen.StateGen, trace *[]str
 		pivots = pivots[:len(pivots)-1]
 	}
 
-	ctx, cols, hints := t.bindPivot(e, pivots, sg)
+	ctx, cols, hints := t.bindPivot(intro, pivots, sg)
 
 	// §7 extension: occasionally check the dual property — a FALSE
 	// condition must NOT fetch the pivot row.
 	if t.cfg.NegativeChecks && t.rnd.Bool(0.3) {
-		return t.negativeIteration(e, pivots, ctx, cols, hints, trace)
+		return t.negativeIteration(db, pivots, ctx, cols, hints, tr)
 	}
 
 	// Steps 3–4: generate and rectify conditions.
@@ -263,12 +349,11 @@ func (t *Tester) pivotIteration(e *engine.Engine, sg *gen.StateGen, trace *[]str
 	if t.cfg.ContainmentViaQuery {
 		query = intersectForm(sel, expected)
 	}
-	sql := sqlast.SQL(query, t.cfg.Dialect)
-	*trace = append(*trace, sql)
+	tr.add(query)
 	t.stats.Statements++
 	t.stats.Queries++
 
-	res, execErr := e.Exec(sql)
+	res, execErr := db.ExecAST(query)
 	if execErr != nil {
 		switch v := oracle.Classify(query, execErr, t.cfg.Dialect); v {
 		case oracle.VerdictBug, oracle.VerdictCrash:
@@ -277,12 +362,12 @@ func (t *Tester) pivotIteration(e *engine.Engine, sg *gen.StateGen, trace *[]str
 				Oracle:  oracle.OracleFor(v),
 				Message: execErr.Error(),
 				Code:    code,
-				Trace:   append([]string(nil), *trace...),
+				Trace:   tr.render(),
 			}, nil
 		default:
 			// Expected runtime error (strict typing): drop this query
 			// from the trace and move on.
-			*trace = (*trace)[:len(*trace)-1]
+			tr.pop()
 			t.stats.Discarded++
 			return nil, nil
 		}
@@ -300,14 +385,14 @@ func (t *Tester) pivotIteration(e *engine.Engine, sg *gen.StateGen, trace *[]str
 		return &Bug{
 			Oracle:      faults.OracleContainment,
 			Message:     fmt.Sprintf("pivot row %s not contained in result set (%d rows)", tupleString(expected), len(res.Rows)),
-			Trace:       append([]string(nil), *trace...),
+			Trace:       tr.render(),
 			Expected:    expected,
 			PivotTables: pt,
 		}, nil
 	}
 	// Keep the trace bounded: successful pivot queries don't help
 	// reproduce later bugs.
-	*trace = (*trace)[:len(*trace)-1]
+	tr.pop()
 	return nil, nil
 }
 
@@ -328,7 +413,7 @@ func intersectForm(sel *sqlast.Select, expected []sqlval.Value) *sqlast.Compound
 // negativeIteration generates a FALSE-rectified condition and verifies the
 // pivot row is absent from the result (§7: "we could also generate
 // conditions and check that the pivot row is not contained").
-func (t *Tester) negativeIteration(e *engine.Engine, pivots []pivotRow, ctx *interp.Context, cols []gen.ColumnPick, hints []sqlval.Value, trace *[]string) (*Bug, error) {
+func (t *Tester) negativeIteration(db sut.DB, pivots []pivotRow, ctx *interp.Context, cols []gen.ColumnPick, hints []sqlval.Value, tr *trace) (*Bug, error) {
 	where, ok := t.falsifiedCondition(ctx, cols, hints)
 	if !ok {
 		return nil, nil
@@ -354,11 +439,10 @@ func (t *Tester) negativeIteration(e *engine.Engine, pivots []pivotRow, ctx *int
 		sel.From = append(sel.From, sqlast.TableRef{Name: p.table})
 	}
 
-	sql := sqlast.SQL(sel, t.cfg.Dialect)
-	*trace = append(*trace, sql)
+	tr.add(sel)
 	t.stats.Statements++
 	t.stats.Queries++
-	res, execErr := e.Exec(sql)
+	res, execErr := db.ExecAST(sel)
 	if execErr != nil {
 		switch v := oracle.Classify(sel, execErr, t.cfg.Dialect); v {
 		case oracle.VerdictBug, oracle.VerdictCrash:
@@ -367,10 +451,10 @@ func (t *Tester) negativeIteration(e *engine.Engine, pivots []pivotRow, ctx *int
 				Oracle:  oracle.OracleFor(v),
 				Message: execErr.Error(),
 				Code:    code,
-				Trace:   append([]string(nil), *trace...),
+				Trace:   tr.render(),
 			}, nil
 		default:
-			*trace = (*trace)[:len(*trace)-1]
+			tr.pop()
 			t.stats.Discarded++
 			return nil, nil
 		}
@@ -383,13 +467,13 @@ func (t *Tester) negativeIteration(e *engine.Engine, pivots []pivotRow, ctx *int
 		return &Bug{
 			Oracle:      faults.OracleContainment,
 			Message:     fmt.Sprintf("pivot row %s contained despite FALSE condition (%d rows)", tupleString(expected), len(res.Rows)),
-			Trace:       append([]string(nil), *trace...),
+			Trace:       tr.render(),
 			Expected:    expected,
 			PivotTables: pt,
 			Negative:    true,
 		}, nil
 	}
-	*trace = (*trace)[:len(*trace)-1]
+	tr.pop()
 	return nil, nil
 }
 
@@ -448,11 +532,11 @@ func tupleString(vals []sqlval.Value) string {
 
 // bindPivot builds the oracle interpreter context and the generator's
 // column/hint pools.
-func (t *Tester) bindPivot(e *engine.Engine, pivots []pivotRow, sg *gen.StateGen) (*interp.Context, []gen.ColumnPick, []sqlval.Value) {
+func (t *Tester) bindPivot(intro sut.Introspection, pivots []pivotRow, sg *gen.StateGen) (*interp.Context, []gen.ColumnPick, []sqlval.Value) {
 	ctx := interp.NewContext(t.cfg.Dialect)
-	ctx.CaseSensitiveLike = e.CaseSensitiveLike()
-	var cols []gen.ColumnPick
-	var hints []sqlval.Value
+	ctx.CaseSensitiveLike = intro.CaseSensitiveLike()
+	cols := t.colsBuf[:0]
+	hints := t.hintsBuf[:0]
 	for _, p := range pivots {
 		for ci, col := range p.info.Columns {
 			coll, _ := sqlval.ParseCollation(col.Collate)
@@ -473,6 +557,7 @@ func (t *Tester) bindPivot(e *engine.Engine, pivots []pivotRow, sg *gen.StateGen
 	if len(sg.Hints) > 0 {
 		hints = append(hints, sg.Hints...)
 	}
+	t.colsBuf, t.hintsBuf = cols, hints
 	return ctx, cols, hints
 }
 
@@ -546,7 +631,12 @@ func Rectify(expr sqlast.Expr, tb sqlval.TriBool) sqlast.Expr {
 // keywords (DISTINCT, ORDER BY, LIMIT, GROUP BY).
 func (t *Tester) buildQuery(ctx *interp.Context, pivots []pivotRow, cols []gen.ColumnPick, hints []sqlval.Value, where sqlast.Expr) (*sqlast.Select, []sqlval.Value, error) {
 	sel := &sqlast.Select{Where: where}
-	var expected []sqlval.Value
+	nCols := 0
+	for _, p := range pivots {
+		nCols += len(p.info.Columns)
+	}
+	sel.Cols = make([]sqlast.ResultCol, 0, nCols)
+	expected := make([]sqlval.Value, 0, nCols)
 
 	// Result columns: every pivot table column, occasionally replaced by
 	// a random expression on columns (§3.4 extension).

@@ -1,12 +1,15 @@
 // Package dbdriver exposes the engine substrate through database/sql, so
 // example code reads like ordinary Go database code. The DSN selects the
-// dialect profile and, optionally, injected faults:
+// dialect profile and, optionally, injected faults and planner mode:
 //
 //	db, _ := sql.Open("pqs", "sqlite")
 //	db, _ := sql.Open("pqs", "mysql?fault=mysql.double-negation,mysql.set-option-error")
+//	db, _ := sql.Open("pqs", "sqlite?planner=off")
 //
-// The driver supports plain statements only (no placeholders or
-// transactions) — the same surface SQLancer uses against a DBMS.
+// Repeated fault= parameters merge into one set. The driver supports
+// plain statements only (no placeholders); transactions are accepted as
+// pass-through no-ops (the engine auto-commits every statement), the same
+// surface SQLancer uses against a DBMS.
 package dbdriver
 
 import (
@@ -15,6 +18,7 @@ import (
 	"database/sql/driver"
 	"fmt"
 	"io"
+	"reflect"
 	"strings"
 
 	"repro/internal/dialect"
@@ -38,22 +42,37 @@ func (*Driver) Open(dsn string) (driver.Conn, error) {
 		return nil, err
 	}
 	var opts []engine.Option
+	var fs *faults.Set // repeated fault= parameters merge into one set
 	if query != "" {
 		for _, kv := range strings.Split(query, "&") {
 			k, v, _ := strings.Cut(kv, "=")
-			if k != "fault" {
+			switch k {
+			case "fault":
+				if fs == nil {
+					fs = faults.NewSet()
+				}
+				for _, fname := range strings.Split(v, ",") {
+					f := faults.Fault(strings.TrimSpace(fname))
+					if _, ok := faults.Lookup(f); !ok {
+						return nil, fmt.Errorf("pqs driver: unknown fault %q", fname)
+					}
+					fs.Enable(f)
+				}
+			case "planner":
+				switch v {
+				case "off":
+					opts = append(opts, engine.WithoutPlanner())
+				case "on": // the default; accepted for symmetry
+				default:
+					return nil, fmt.Errorf("pqs driver: planner=%q (want on or off)", v)
+				}
+			default:
 				return nil, fmt.Errorf("pqs driver: unknown DSN parameter %q", k)
 			}
-			fs := faults.NewSet()
-			for _, fname := range strings.Split(v, ",") {
-				f := faults.Fault(strings.TrimSpace(fname))
-				if _, ok := faults.Lookup(f); !ok {
-					return nil, fmt.Errorf("pqs driver: unknown fault %q", fname)
-				}
-				fs.Enable(f)
-			}
-			opts = append(opts, engine.WithFaults(fs))
 		}
+	}
+	if fs != nil {
+		opts = append(opts, engine.WithFaults(fs))
 	}
 	return &conn{e: engine.Open(d, opts...)}, nil
 }
@@ -70,9 +89,22 @@ func (c *conn) Prepare(query string) (driver.Stmt, error) {
 // Close implements driver.Conn.
 func (c *conn) Close() error { return nil }
 
-// Begin implements driver.Conn; transactions are unsupported.
+// Begin implements driver.Conn. The engine auto-commits every statement,
+// so transactions are accepted as pass-through no-ops: Commit succeeds
+// without doing anything. Rollback errors rather than silently keeping
+// writes that ordinary database/sql code expects to be undone.
 func (c *conn) Begin() (driver.Tx, error) {
-	return nil, fmt.Errorf("pqs driver: transactions are not supported")
+	return noopTx{}, nil
+}
+
+type noopTx struct{}
+
+// Commit implements driver.Tx; every statement already auto-committed.
+func (noopTx) Commit() error { return nil }
+
+// Rollback implements driver.Tx.
+func (noopTx) Rollback() error {
+	return fmt.Errorf("pqs driver: rollback is not supported (statements auto-commit)")
 }
 
 // Engine exposes the underlying engine for white-box assertions in tests.
@@ -143,8 +175,62 @@ type rows struct {
 	pos int
 }
 
+var _ driver.RowsColumnTypeScanType = (*rows)(nil)
+
 // Columns implements driver.Rows.
 func (r *rows) Columns() []string { return r.res.Columns }
+
+// ColumnTypeScanType implements driver.RowsColumnTypeScanType. The engine
+// is dynamically typed per value, so the type is inferred from the
+// column's non-NULL values; a column whose rows disagree on kind (legal
+// in the SQLite profile, and unsigned overflow demotes to text) reports
+// interface{} so ScanType-allocated destinations never fail mid-scan.
+func (r *rows) ColumnTypeScanType(index int) reflect.Type {
+	var found reflect.Type
+	for _, row := range r.res.Rows {
+		if index >= len(row) {
+			break
+		}
+		t := scanTypeOf(row[index])
+		if t == nil {
+			continue // NULL: compatible with any scan type
+		}
+		if found == nil {
+			found = t
+			continue
+		}
+		if found != t {
+			return reflect.TypeOf((*interface{})(nil)).Elem()
+		}
+	}
+	if found != nil {
+		return found
+	}
+	return reflect.TypeOf((*interface{})(nil)).Elem()
+}
+
+// scanTypeOf mirrors toDriverValue's mapping (nil for NULL).
+func scanTypeOf(v sqlval.Value) reflect.Type {
+	switch v.Kind() {
+	case sqlval.KInt:
+		return reflect.TypeOf(int64(0))
+	case sqlval.KUint:
+		if v.Uint64() <= 1<<63-1 {
+			return reflect.TypeOf(int64(0))
+		}
+		return reflect.TypeOf("")
+	case sqlval.KReal:
+		return reflect.TypeOf(float64(0))
+	case sqlval.KText:
+		return reflect.TypeOf("")
+	case sqlval.KBlob:
+		return reflect.TypeOf([]byte(nil))
+	case sqlval.KBool:
+		return reflect.TypeOf(false)
+	default:
+		return nil
+	}
+}
 
 // Close implements driver.Rows.
 func (r *rows) Close() error { return nil }
@@ -183,7 +269,7 @@ func toDriverValue(v sqlval.Value) driver.Value {
 	case sqlval.KText:
 		return v.Str()
 	case sqlval.KBlob:
-		return append([]byte(nil), v.Bytes()...)
+		return v.Bytes() // already a fresh copy
 	case sqlval.KBool:
 		return v.BoolVal()
 	default:

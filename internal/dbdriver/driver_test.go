@@ -2,7 +2,11 @@ package dbdriver
 
 import (
 	"database/sql"
+	"strings"
 	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/faults"
 )
 
 func TestDriverRoundTrip(t *testing.T) {
@@ -86,6 +90,121 @@ func TestDriverFaultDSN(t *testing.T) {
 	}
 }
 
+// Repeated fault= parameters must merge into one set rather than the last
+// one silently winning.
+func TestDriverRepeatedFaultParamsMerge(t *testing.T) {
+	conn, err := (&Driver{}).Open("sqlite?fault=sqlite.partial-index-not-null&fault=sqlite.rtrim-compare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := conn.(interface{ Engine() *engine.Engine }).Engine()
+	fs := eng.Faults()
+	if fs == nil {
+		t.Fatal("no fault set on engine")
+	}
+	for _, f := range []faults.Fault{faults.PartialIndexNotNull, faults.RtrimCompare} {
+		if !fs.Has(f) {
+			t.Errorf("fault %s lost from merged set (have %v)", f, fs.List())
+		}
+	}
+}
+
+// planner=off must map to engine.WithoutPlanner: every access path is a
+// full scan.
+func TestDriverPlannerOffDSN(t *testing.T) {
+	conn, err := (&Driver{}).Open("sqlite?planner=off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := conn.(interface{ Engine() *engine.Engine }).Engine()
+	for _, s := range []string{
+		`CREATE TABLE t0(c0 INT)`,
+		`CREATE INDEX i0 ON t0(c0)`,
+		`INSERT INTO t0 VALUES (1), (2), (3)`,
+	} {
+		if _, err := eng.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := eng.PlanSQL(`SELECT * FROM t0 WHERE c0 = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if strings.Contains(strings.ToUpper(p.Detail()), "INDEX") {
+			t.Errorf("planner=off still chose an index path: %s", p.Detail())
+		}
+	}
+	if _, err := (&Driver{}).Open("sqlite?planner=sideways"); err == nil {
+		t.Error("bad planner value should fail")
+	}
+}
+
+// The driver reports per-column scan types inferred from the result.
+func TestDriverColumnTypeScanType(t *testing.T) {
+	db, err := sql.Open("pqs", "sqlite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+	for _, s := range []string{
+		`CREATE TABLE t0(c0 INT, c1 TEXT, c2 REAL, c3)`,
+		`INSERT INTO t0 VALUES (1, 'a', 1.5, NULL)`,
+	} {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := db.Query(`SELECT c0, c1, c2, c3 FROM t0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cts, err := rows.ColumnTypes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"int64", "string", "float64", ""}
+	for i, ct := range cts {
+		got := ct.ScanType().String()
+		if want[i] == "" {
+			// All-NULL column: scan type is the dynamic interface{}.
+			if got != "interface {}" {
+				t.Errorf("col %d scan type = %s, want interface{}", i, got)
+			}
+			continue
+		}
+		if got != want[i] {
+			t.Errorf("col %d scan type = %s, want %s", i, got, want[i])
+		}
+	}
+	// Release the pinned connection before issuing more statements: the
+	// pool has one connection and an open Rows holds it.
+	rows.Close()
+
+	// A dynamically-typed column whose rows disagree on kind must report
+	// interface{} so ScanType-allocated destinations never fail mid-scan.
+	if _, err := db.Exec(`CREATE TABLE t1(c0)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t1 VALUES (1), ('a')`); err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := db.Query(`SELECT c0 FROM t1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mixed.Close()
+	mcts, err := mixed.ColumnTypes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mcts[0].ScanType().String(); got != "interface {}" {
+		t.Errorf("mixed-kind column scan type = %s, want interface{}", got)
+	}
+}
+
 func TestDriverErrors(t *testing.T) {
 	if _, err := (&Driver{}).Open("oracle"); err == nil {
 		t.Error("unknown dialect should fail")
@@ -102,7 +221,15 @@ func TestDriverErrors(t *testing.T) {
 	if _, err := db.Exec(`SELECT * FROM missing`); err == nil {
 		t.Error("missing table should error")
 	}
-	if _, err := db.Begin(); err == nil {
-		t.Error("transactions should be unsupported")
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatalf("Begin should be a no-op, got %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Errorf("Commit should be a no-op, got %v", err)
+	}
+	tx, _ = db.Begin()
+	if err := tx.Rollback(); err == nil {
+		t.Error("Rollback should error: statements auto-commit")
 	}
 }

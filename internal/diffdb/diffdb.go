@@ -12,10 +12,11 @@ import (
 	"strings"
 
 	"repro/internal/dialect"
-	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/sqlval"
+	"repro/internal/sut"
+	_ "repro/internal/sut/memengine" // default backend
 )
 
 // Config parameterizes a differential session.
@@ -26,6 +27,9 @@ type Config struct {
 	Faults       *faults.Set
 	QueriesPerDB int
 	Rows         int
+	// Backend names the sut driver both sides run on ("" =
+	// sut.DefaultBackend).
+	Backend string
 }
 
 // Mismatch is a differential detection.
@@ -62,8 +66,16 @@ func New(cfg Config) *Session {
 // RunDatabase builds one common-core database on both engines and compares
 // query results. It returns the first mismatch, or nil.
 func (s *Session) RunDatabase() (*Mismatch, error) {
-	left := engine.Open(s.cfg.Pair[0], engine.WithFaults(s.cfg.Faults))
-	right := engine.Open(s.cfg.Pair[1])
+	left, err := sut.Open(s.cfg.Backend, sut.Session{Dialect: s.cfg.Pair[0], Faults: s.cfg.Faults})
+	if err != nil {
+		return nil, err
+	}
+	defer left.Close()
+	right, err := sut.Open(s.cfg.Backend, sut.Session{Dialect: s.cfg.Pair[1]})
+	if err != nil {
+		return nil, err
+	}
+	defer right.Close()
 	var trace []string
 
 	apply := func(sql string) error {
@@ -112,14 +124,14 @@ func (s *Session) RunDatabase() (*Mismatch, error) {
 	}
 
 	for q := 0; q < s.cfg.QueriesPerDB; q++ {
-		query := s.commonQuery(left)
+		query := s.commonQuery(left.Introspect())
 		if query == "" {
 			continue
 		}
 		trace = append(trace, query)
 		s.Statements += 2
-		resL, errL := left.Exec(query)
-		resR, errR := right.Exec(query)
+		resL, errL := left.Query(query)
+		resR, errR := right.Query(query)
 		if (errL == nil) != (errR == nil) {
 			return &Mismatch{
 				Query: query,
@@ -176,13 +188,13 @@ func (s *Session) commonValue(isText bool) string {
 // commonQuery builds a query from the dialects' common core: comparisons
 // composed with AND/OR/NOT, LEFT/INNER JOIN, DISTINCT, no dialect
 // keywords.
-func (s *Session) commonQuery(e *engine.Engine) string {
-	tables := e.Tables()
+func (s *Session) commonQuery(intro sut.Introspection) string {
+	tables := intro.Tables()
 	if len(tables) == 0 {
 		return ""
 	}
 	t0 := tables[s.rnd.Intn(len(tables))]
-	info, err := e.Describe(t0)
+	info, err := intro.Describe(t0)
 	if err != nil || len(info.Columns) == 0 {
 		return ""
 	}
@@ -200,7 +212,7 @@ func (s *Session) commonQuery(e *engine.Engine) string {
 			if s.rnd.Bool(0.5) {
 				join = " LEFT JOIN "
 			}
-			info1, err := e.Describe(t1)
+			info1, err := intro.Describe(t1)
 			// Join keys must share a type category, or the strictly-typed
 			// dialect would diverge by erroring.
 			if err == nil && len(info1.Columns) > 0 &&

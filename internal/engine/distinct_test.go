@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dialect"
+)
+
+// DISTINCT must treat 0.0 and -0.0 as duplicates on both the small
+// (pairwise Compare) and large (hashed) paths — the hash key folds
+// negative zero so the two paths cannot diverge with result-set size.
+func TestDistinctNegativeZeroBothPaths(t *testing.T) {
+	for _, n := range []int{4, 40} { // below and above the hashing cutoff
+		e := Open(dialect.SQLite)
+		if _, err := e.Exec("CREATE TABLE t0(c0 REAL)"); err != nil {
+			t.Fatal(err)
+		}
+		var vals []string
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				vals = append(vals, "(0.0)", "(-0.0)")
+			} else {
+				vals = append(vals, fmt.Sprintf("(%d.5)", i))
+			}
+		}
+		if _, err := e.Exec("INSERT INTO t0 VALUES " + strings.Join(vals, ", ")); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Exec("SELECT DISTINCT c0 FROM t0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		zeros := 0
+		for _, row := range res.Rows {
+			if row[0].IsNumeric() && row[0].AsFloat() == 0 {
+				zeros++
+			}
+		}
+		if zeros != 1 {
+			t.Errorf("n=%d: DISTINCT kept %d zero rows, want 1 (0.0 and -0.0 must dedup)", n, zeros)
+		}
+	}
+}

@@ -31,12 +31,19 @@ type joinedEnv struct {
 	current []*rowVals // parallel to rels
 }
 
+// eqFold is strings.EqualFold with an exact-match fast path: generated
+// identifiers are case-consistent, so the byte comparison almost always
+// decides and the rune-wise fold never runs.
+func eqFold(a, b string) bool {
+	return a == b || strings.EqualFold(a, b)
+}
+
 func (j *joinedEnv) find(table, column string) (int, int) {
 	if table != "" {
 		for ri, r := range j.rels {
-			if strings.EqualFold(r.name, table) || strings.EqualFold(r.table, table) {
+			if eqFold(r.name, table) || eqFold(r.table, table) {
 				for ci := range r.columns {
-					if strings.EqualFold(r.columns[ci].Name, column) {
+					if eqFold(r.columns[ci].Name, column) {
 						return ri, ci
 					}
 				}
@@ -48,7 +55,7 @@ func (j *joinedEnv) find(table, column string) (int, int) {
 	foundR, foundC, n := -1, -1, 0
 	for ri, r := range j.rels {
 		for ci := range r.columns {
-			if strings.EqualFold(r.columns[ci].Name, column) {
+			if eqFold(r.columns[ci].Name, column) {
 				foundR, foundC = ri, ci
 				n++
 			}

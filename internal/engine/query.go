@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/dialect"
@@ -115,13 +116,19 @@ func (e *Engine) buildRelation(tr sqlast.TableRef) (*relation, error) {
 		panic(crashPanic{site: "rowid_alias_resolve"})
 	}
 
-	for _, row := range td.Rows() {
+	heap := td.Rows()
+	// One arena backs the scan's row headers (one *rowVals per heap row
+	// per query adds up fast in campaign hot loops).
+	arena := make([]rowVals, 0, len(heap))
+	r.rows = make([]*rowVals, 0, len(heap))
+	for _, row := range heap {
 		// Fault site (generic.insert-visibility): the most recent insert
 		// is invisible to scans.
 		if e.d == dialect.MySQL && e.fs.Has(faults.InsertVisibility) && row.Rowid == st.lastInsert {
 			continue
 		}
-		r.rows = append(r.rows, &rowVals{rowid: row.Rowid, vals: row.Vals})
+		arena = append(arena, rowVals{rowid: row.Rowid, vals: row.Vals})
+		r.rows = append(r.rows, &arena[len(arena)-1])
 	}
 
 	// Postgres inheritance: parent scans include children (Listing 15).
@@ -307,6 +314,10 @@ func (e *Engine) buildPlannedRelation(n *sqlast.Select, tr sqlast.TableRef) (*re
 	// Deduplicate and fetch in rowid order, matching heap-scan order.
 	sorted := append([]int64(nil), rowids...)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	// One arena backs the fetched row headers (cap fixed up front so the
+	// taken pointers stay valid).
+	arena := make([]rowVals, 0, len(sorted))
+	r.rows = make([]*rowVals, 0, len(sorted))
 	var prev int64
 	for i, rid := range sorted {
 		if i > 0 && rid == prev {
@@ -322,7 +333,8 @@ func (e *Engine) buildPlannedRelation(n *sqlast.Select, tr sqlast.TableRef) (*re
 		if e.d == dialect.MySQL && e.fs.Has(faults.InsertVisibility) && row.Rowid == st.lastInsert {
 			continue
 		}
-		r.rows = append(r.rows, &rowVals{rowid: row.Rowid, vals: row.Vals})
+		arena = append(arena, rowVals{rowid: row.Rowid, vals: row.Vals})
+		r.rows = append(r.rows, &arena[len(arena)-1])
 	}
 	return r, nil
 }
@@ -413,20 +425,27 @@ func (e *Engine) joinRows(n *sqlast.Select, rels []*relation, joins []joinInfo) 
 		}
 	}
 
-	// Start with the first relation's rows.
-	combos := make([][]*rowVals, 0, len(rels[0].rows))
-	for _, row := range rels[0].rows {
-		combos = append(combos, []*rowVals{row})
+	// Start with the first relation's rows. One backing array holds every
+	// single-element combo, instead of one allocation per row.
+	combos := make([][]*rowVals, len(rels[0].rows))
+	backing := make([]*rowVals, len(rels[0].rows))
+	for ri, row := range rels[0].rows {
+		backing[ri] = row
+		combos[ri] = backing[ri : ri+1 : ri+1]
 	}
+	scratch := make([]*rowVals, 0, len(rels))
 	for i := 1; i < len(rels); i++ {
 		j := joins[i-1]
-		var next [][]*rowVals
+		next := make([][]*rowVals, 0, len(combos))
 		for _, combo := range combos {
 			matched := false
 			for _, row := range rels[i].rows {
-				cand := append(append([]*rowVals{}, combo...), row)
 				if j.on != nil {
-					env := &joinedEnv{rels: rels[:i+1], current: cand}
+					// Evaluate the ON condition against a reused scratch
+					// combo; a fresh slice is materialized only for kept
+					// rows.
+					scratch = append(append(scratch[:0], combo...), row)
+					env := &joinedEnv{rels: rels[:i+1], current: scratch}
 					tb, err := e.ev.EvalBool(j.on, env)
 					if err != nil {
 						return nil, err
@@ -444,6 +463,9 @@ func (e *Engine) joinRows(n *sqlast.Select, rels []*relation, joins []joinInfo) 
 					continue
 				}
 				matched = true
+				cand := make([]*rowVals, len(combo)+1)
+				copy(cand, combo)
+				cand[len(combo)] = row
 				next = append(next, cand)
 			}
 			if !matched && j.kind == sqlast.JoinLeft {
@@ -497,9 +519,10 @@ func (e *Engine) filterCombos(n *sqlast.Select, rels []*relation, combos [][]*ro
 			}
 		}
 	}
-	var out [][]*rowVals
+	out := make([][]*rowVals, 0, len(combos))
+	env := &joinedEnv{rels: rels}
 	for _, combo := range combos {
-		env := &joinedEnv{rels: rels, current: combo}
+		env.current = combo
 		tb, err := e.ev.EvalBool(n.Where, env)
 		if err != nil {
 			return nil, err
@@ -602,10 +625,9 @@ func (e *Engine) project(n *sqlast.Select, rels []*relation, combos [][]*rowVals
 		return out
 	}
 
-	evalRow := func(combo []*rowVals) ([]sqlval.Value, error) {
+	evalRowInto := func(row []sqlval.Value, combo []*rowVals) error {
 		combo = hijack(combo)
 		env := &joinedEnv{rels: rels, current: combo}
-		row := make([]sqlval.Value, len(cols))
 		for i, c := range cols {
 			if c.x == nil {
 				if combo[c.rel] == nil || c.col >= len(combo[c.rel].vals) {
@@ -617,17 +639,21 @@ func (e *Engine) project(n *sqlast.Select, rels []*relation, combos [][]*rowVals
 			}
 			v, err := e.ev.Eval(c.x, env)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row[i] = v
 		}
-		return row, nil
+		return nil
 	}
 
 	if len(n.GroupBy) == 0 && !hasAgg {
-		var rows [][]sqlval.Value
-		for _, combo := range combos {
-			row, err := evalRow(combo)
+		rows := make([][]sqlval.Value, 0, len(combos))
+		// One arena backs every output row: the per-row make() here was
+		// the single largest allocation site in campaign profiles.
+		arena := make([]sqlval.Value, len(cols)*len(combos))
+		for ci, combo := range combos {
+			row := arena[ci*len(cols) : (ci+1)*len(cols) : (ci+1)*len(cols)]
+			err := evalRowInto(row, combo)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -851,30 +877,87 @@ func (e *Engine) distinct(rows [][]sqlval.Value) [][]sqlval.Value {
 	if e.d == dialect.SQLite && e.fs.Has(faults.DistinctCollation) {
 		coll = sqlval.CollNoCase
 	}
+	// Large result sets bucket rows by a conservative hash key first
+	// (Compare-equal rows always share a key; key collisions fall back to
+	// pairwise Compare), turning the O(n²) scan into near-linear work.
+	// The collated fault path keeps the plain scan: its equality is
+	// deliberately non-standard and rare.
+	if coll == sqlval.CollBinary && len(rows) > 16 {
+		return e.distinctHashed(rows)
+	}
 	var out [][]sqlval.Value
 	for _, row := range rows {
 		dup := false
 		for _, prev := range out {
-			same := true
-			for i := range row {
-				if row[i].IsNull() || prev[i].IsNull() {
-					if row[i].IsNull() != prev[i].IsNull() {
-						same = false
-						break
-					}
-					continue
-				}
-				if sqlval.Compare(row[i], prev[i], coll) != 0 {
-					same = false
-					break
-				}
-			}
-			if same {
+			if rowsEqual(row, prev, coll) {
 				dup = true
 				break
 			}
 		}
 		if !dup {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func rowsEqual(a, b []sqlval.Value, coll sqlval.Collation) bool {
+	for i := range a {
+		if a[i].IsNull() || b[i].IsNull() {
+			if a[i].IsNull() != b[i].IsNull() {
+				return false
+			}
+			continue
+		}
+		if sqlval.Compare(a[i], b[i], coll) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// distinctHashed is the binary-collation DISTINCT fast path.
+func (e *Engine) distinctHashed(rows [][]sqlval.Value) [][]sqlval.Value {
+	buckets := make(map[string][][]sqlval.Value, len(rows))
+	out := make([][]sqlval.Value, 0, len(rows))
+	var key strings.Builder
+	for _, row := range rows {
+		key.Reset()
+		for _, v := range row {
+			switch {
+			case v.IsNull():
+				key.WriteString("\x00n")
+			case v.Kind() == sqlval.KText:
+				key.WriteString("\x00t")
+				key.WriteString(v.Str())
+			case v.Kind() == sqlval.KBlob:
+				key.WriteString("\x00b")
+				key.WriteString(v.BlobStr())
+			default:
+				// Numeric (incl. bool): Compare treats 1, 1.0, and TRUE
+				// as equal, so the key folds them to one float rendering
+				// (negative zero folds to zero — Compare says they are
+				// equal but FormatFloat renders them apart). Distinct huge
+				// integers can collide on the same float; the in-bucket
+				// Compare pass disambiguates.
+				f := v.AsFloat()
+				if f == 0 {
+					f = 0
+				}
+				key.WriteString("\x00f")
+				key.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+			}
+		}
+		k := key.String()
+		dup := false
+		for _, prev := range buckets[k] {
+			if rowsEqual(row, prev, sqlval.CollBinary) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buckets[k] = append(buckets[k], row)
 			out = append(out, row)
 		}
 	}

@@ -149,7 +149,7 @@ func (ev *Evaluator) numeric(v sqlval.Value) sqlval.Value {
 	case sqlval.KText:
 		return prefixNumber(v.Str())
 	case sqlval.KBlob:
-		return prefixNumber(string(v.Bytes()))
+		return prefixNumber(v.BlobStr())
 	case sqlval.KBool:
 		return sqlval.Int(v.Int64())
 	default:
@@ -676,7 +676,7 @@ func textOf(v sqlval.Value) string {
 	case sqlval.KText:
 		return v.Str()
 	case sqlval.KBlob:
-		return string(v.Bytes())
+		return v.BlobStr()
 	default:
 		return v.Display()
 	}

@@ -8,11 +8,11 @@ package fuzz
 import (
 	"repro/internal/core"
 	"repro/internal/dialect"
-	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/oracle"
 	"repro/internal/sqlast"
+	"repro/internal/sut"
 	"repro/internal/xerr"
 )
 
@@ -22,6 +22,11 @@ type Config struct {
 	Seed         int64
 	Faults       *faults.Set
 	QueriesPerDB int
+	// Backend names the sut driver ("" = sut.DefaultBackend).
+	Backend string
+	// WireFidelity renders and reparses each generated statement instead
+	// of the ExecAST fast path, restoring the fuzzer's parser coverage.
+	WireFidelity bool
 }
 
 // Fuzzer drives random statements at the engine and watches for crashes
@@ -50,15 +55,25 @@ func (f *Fuzzer) Stats() core.Stats { return f.stats }
 // shape as PQS, but the Oracle is always error or segfault — never
 // containment.
 func (f *Fuzzer) RunDatabase() (*core.Bug, error) {
-	e := engine.Open(f.cfg.Dialect, engine.WithFaults(f.cfg.Faults))
+	db, err := sut.Open(f.cfg.Backend, sut.Session{
+		Dialect:      f.cfg.Dialect,
+		Faults:       f.cfg.Faults,
+		WireFidelity: f.cfg.WireFidelity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
 	f.stats.Databases++
-	var trace []string
+	// Like core's trace type, statements are kept as ASTs and rendered
+	// only when a detection needs a reproduction trace.
+	var trace []sqlast.Stmt
+	renderTrace := func() []string { return core.RenderStmts(trace, f.cfg.Dialect) }
 
 	apply := func(st sqlast.Stmt) error {
-		sql := sqlast.SQL(st, f.cfg.Dialect)
-		trace = append(trace, sql)
+		trace = append(trace, st)
 		f.stats.Statements++
-		_, err := e.Exec(sql)
+		_, err := db.ExecAST(st)
 		switch v := oracle.Classify(st, err, f.cfg.Dialect); v {
 		case oracle.VerdictBug, oracle.VerdictCrash:
 			code, _ := xerr.CodeOf(err)
@@ -66,7 +81,7 @@ func (f *Fuzzer) RunDatabase() (*core.Bug, error) {
 				Oracle:  oracle.OracleFor(v),
 				Message: err.Error(),
 				Code:    code,
-				Trace:   append([]string(nil), trace...),
+				Trace:   renderTrace(),
 			}}
 		case oracle.VerdictArtifact:
 			f.stats.Artifacts++
@@ -74,7 +89,7 @@ func (f *Fuzzer) RunDatabase() (*core.Bug, error) {
 		return nil
 	}
 
-	sg := &gen.StateGen{Rnd: f.rnd, E: e}
+	sg := &gen.StateGen{Rnd: f.rnd, E: db.Introspect()}
 	if err := sg.BuildDatabase(apply); err != nil {
 		if sig, ok := err.(*fuzzSignal); ok {
 			return sig.bug, nil
@@ -85,7 +100,7 @@ func (f *Fuzzer) RunDatabase() (*core.Bug, error) {
 	// Random queries with arbitrary (unrectified) conditions: result sets
 	// are never validated — the fuzzer has no idea what they should be.
 	for q := 0; q < f.cfg.QueriesPerDB; q++ {
-		sel := f.randomQuery(e, sg)
+		sel := f.randomQuery(db.Introspect(), sg)
 		if sel == nil {
 			continue
 		}
@@ -107,13 +122,13 @@ type fuzzSignal struct{ bug *core.Bug }
 // Error implements the error interface.
 func (s *fuzzSignal) Error() string { return "fuzz detection: " + s.bug.Message }
 
-func (f *Fuzzer) randomQuery(e *engine.Engine, sg *gen.StateGen) *sqlast.Select {
-	tables := e.Tables()
+func (f *Fuzzer) randomQuery(intro sut.Introspection, sg *gen.StateGen) *sqlast.Select {
+	tables := intro.Tables()
 	if len(tables) == 0 {
 		return nil
 	}
 	table := tables[f.rnd.Intn(len(tables))]
-	info, err := e.Describe(table)
+	info, err := intro.Describe(table)
 	if err != nil {
 		return nil
 	}

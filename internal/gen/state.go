@@ -4,20 +4,29 @@ import (
 	"fmt"
 
 	"repro/internal/dialect"
-	"repro/internal/engine"
 	"repro/internal/schema"
 	"repro/internal/sqlast"
 	"repro/internal/sqlval"
 )
 
+// Introspector is the catalog/ground-truth surface StateGen consults. It
+// is a consumer-side slice of sut.Introspection; both *engine.Engine and
+// any sut.DB's Introspect() satisfy it.
+type Introspector interface {
+	Tables() []string
+	Describe(name string) (schema.TableInfo, error)
+	RawRows(table string) [][]sqlval.Value
+	RowCount(table string) int
+}
+
 // StateGen generates random database state (step 1 of Figure 1): tables,
 // rows, indexes, views, options, and maintenance statements. Statements
 // are handed to an apply callback one at a time; the caller executes them
-// and runs the error oracle. The generator re-introspects the engine after
-// DDL rather than tracking state itself (§3.4 of the paper).
+// and runs the error oracle. The generator re-introspects the database
+// after DDL rather than tracking state itself (§3.4 of the paper).
 type StateGen struct {
 	Rnd *Rand
-	E   *engine.Engine
+	E   Introspector
 	// MinRows/MaxRows bound the per-table row count (paper: 10–30 rows;
 	// campaigns default lower for throughput, the ablation bench sweeps it).
 	MinRows, MaxRows int

@@ -165,7 +165,7 @@ func ToNumeric(v sqlval.Value, d dialect.Dialect) sqlval.Value {
 	case sqlval.KText:
 		return NumericPrefix(v.Str())
 	case sqlval.KBlob:
-		return NumericPrefix(string(v.Bytes()))
+		return NumericPrefix(v.BlobStr())
 	default:
 		return sqlval.Null()
 	}
@@ -550,7 +550,7 @@ func displayText(v sqlval.Value) string {
 	case sqlval.KText:
 		return v.Str()
 	case sqlval.KBlob:
-		return string(v.Bytes())
+		return v.BlobStr()
 	default:
 		return v.Display()
 	}

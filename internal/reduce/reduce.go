@@ -8,10 +8,10 @@ package reduce
 import (
 	"repro/internal/core"
 	"repro/internal/dialect"
-	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/oracle"
 	"repro/internal/sqlval"
+	"repro/internal/sut"
 	"repro/internal/xerr"
 )
 
@@ -43,8 +43,10 @@ func Statements(trace []string, check Check) []string {
 }
 
 // CheckerFor builds a Check that replays a candidate trace on a fresh
-// engine with the same fault set and decides whether the original bug
-// still shows.
+// database (sut.DefaultBackend) with the same fault set and decides
+// whether the original bug still shows. Replay is deliberately
+// string-based: the reduced trace must reproduce the bug for a client
+// pasting SQL, regardless of which execution path first found it.
 //
 // For containment bugs: every pivot table must still contain its pivot
 // row (ground truth via RawRows), the final query must succeed, and the
@@ -56,18 +58,22 @@ func CheckerFor(bug *core.Bug, d dialect.Dialect, fs *faults.Set) Check {
 		if len(trace) == 0 {
 			return false
 		}
-		e := engine.Open(d, engine.WithFaults(fs))
+		db, err := sut.Open("", sut.Session{Dialect: d, Faults: fs})
+		if err != nil {
+			return false
+		}
+		defer db.Close()
 		for _, sql := range trace[:len(trace)-1] {
-			_, _ = e.Exec(sql) // setup errors just weaken the candidate
+			_, _ = db.Exec(sql) // setup errors just weaken the candidate
 		}
 		last := trace[len(trace)-1]
-		res, err := e.Exec(last)
 		if bug.Oracle == faults.OracleContainment {
+			res, err := db.Query(last)
 			if err != nil {
 				return false
 			}
 			for table, pivot := range bug.PivotTables {
-				if !tableContains(e, table, pivot) {
+				if !tableContains(db.Introspect(), table, pivot) {
 					return false
 				}
 			}
@@ -77,6 +83,7 @@ func CheckerFor(bug *core.Bug, d dialect.Dialect, fs *faults.Set) Check {
 			}
 			return !oracle.Containment(res.Rows, bug.Expected)
 		}
+		_, err = db.Exec(last)
 		if err == nil {
 			return false
 		}
@@ -86,8 +93,8 @@ func CheckerFor(bug *core.Bug, d dialect.Dialect, fs *faults.Set) Check {
 }
 
 // tableContains checks ground-truth presence of a pivot row.
-func tableContains(e *engine.Engine, table string, pivot []sqlval.Value) bool {
-	for _, row := range e.RawRows(table) {
+func tableContains(intro sut.Introspection, table string, pivot []sqlval.Value) bool {
+	for _, row := range intro.RawRows(table) {
 		if len(row) < len(pivot) {
 			continue
 		}

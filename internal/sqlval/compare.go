@@ -26,7 +26,7 @@ func Compare(a, b Value, coll Collation) int {
 	case 2: // both text
 		return CollCompare(a.Str(), b.Str(), coll)
 	default: // both blob
-		return blobCompare(a.Bytes(), b.Bytes())
+		return blobCompare(a.BlobStr(), b.BlobStr())
 	}
 }
 
@@ -136,7 +136,7 @@ func cmpUint64(a, b uint64) int {
 	}
 }
 
-func blobCompare(a, b []byte) int {
+func blobCompare(a, b string) int {
 	n := len(a)
 	if len(b) < n {
 		n = len(b)

@@ -1,0 +1,205 @@
+package sut_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/faults"
+	"repro/internal/sqlparse"
+	"repro/internal/sqlval"
+	"repro/internal/sut"
+	_ "repro/internal/sut/memengine"
+	_ "repro/internal/sut/wire"
+)
+
+// conformanceScript is one DDL/DML/DQL sequence every backend must agree
+// on, statement by statement. It deliberately crosses the whole surface:
+// tables, indexes, views, inserts, updates, deletes, joins, aggregates,
+// compound queries, EXPLAIN, and maintenance.
+var conformanceScript = []string{
+	"CREATE TABLE t0(c0 INT, c1 TEXT)",
+	"INSERT INTO t0 VALUES (1, 'a'), (2, 'b'), (NULL, 'c')",
+	"CREATE TABLE t1(c0 INT, c1 TEXT NOT NULL)",
+	"INSERT INTO t1 VALUES (1, 'x'), (3, 'y')",
+	"CREATE INDEX i0 ON t0(c0)",
+	"SELECT * FROM t0",
+	"SELECT DISTINCT c1 FROM t0 WHERE c0 IS NULL",
+	"SELECT t0.c0, t1.c1 FROM t0 JOIN t1 ON (t0.c0 = t1.c0)",
+	"SELECT t0.c0 FROM t0 LEFT JOIN t1 ON (t0.c0 = t1.c0) ORDER BY t0.c0 LIMIT 10",
+	"UPDATE t0 SET c1 = 'z' WHERE c0 = 2",
+	"SELECT c1 FROM t0 ORDER BY c1",
+	"CREATE VIEW v0 AS SELECT c0 FROM t0",
+	"SELECT * FROM v0 ORDER BY c0",
+	"DELETE FROM t1 WHERE c0 = 3",
+	"SELECT * FROM t1",
+	"SELECT c0 FROM t0 UNION SELECT c0 FROM t1 ORDER BY c0",
+	"SELECT COUNT(*) FROM t0",
+	"EXPLAIN QUERY PLAN SELECT * FROM t0 WHERE c0 = 1",
+	"SELECT * FROM missing_table",
+	"DROP TABLE t1",
+	"SELECT c0 + 1 FROM t0 WHERE c0 >= 1 ORDER BY c0",
+}
+
+// isQuery reports whether a script statement must go down the query path
+// (the wire backend cannot return rows from its exec path).
+func isQuery(sql string) bool {
+	up := strings.ToUpper(strings.TrimSpace(sql))
+	return strings.HasPrefix(up, "SELECT") || strings.HasPrefix(up, "EXPLAIN")
+}
+
+// outcome is one statement's observable behaviour at the boundary.
+type outcome struct {
+	failed   bool
+	columns  string
+	rows     []string
+	affected int
+}
+
+func observe(db sut.DB, sql string) outcome {
+	if isQuery(sql) {
+		res, err := db.Query(sql)
+		if err != nil {
+			return outcome{failed: true}
+		}
+		return outcome{columns: strings.Join(res.Columns, "|"), rows: renderRows(res.Rows)}
+	}
+	res, err := db.Exec(sql)
+	if err != nil {
+		return outcome{failed: true}
+	}
+	return outcome{affected: res.RowsAffected}
+}
+
+// renderRows canonicalizes result rows for comparison. Values are
+// compared by their literal rendering: the wire backend reconstructs
+// values from driver.Value, so kinds must survive the round trip well
+// enough to render identically.
+func renderRows(rows [][]sqlval.Value) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	return out
+}
+
+func diffOutcome(a, b outcome) string {
+	if a.failed != b.failed {
+		return fmt.Sprintf("error divergence: %v vs %v", a.failed, b.failed)
+	}
+	if a.columns != b.columns {
+		return fmt.Sprintf("columns %q vs %q", a.columns, b.columns)
+	}
+	if len(a.rows) != len(b.rows) {
+		return fmt.Sprintf("row count %d vs %d", len(a.rows), len(b.rows))
+	}
+	for i := range a.rows {
+		if a.rows[i] != b.rows[i] {
+			return fmt.Sprintf("row %d: %q vs %q", i, a.rows[i], b.rows[i])
+		}
+	}
+	if a.affected != b.affected {
+		return fmt.Sprintf("rows affected %d vs %d", a.affected, b.affected)
+	}
+	return ""
+}
+
+// TestBackendConformance runs the shared script against the memengine and
+// wire backends for every dialect and asserts identical observable
+// behaviour — the boundary itself is the unit under test.
+func TestBackendConformance(t *testing.T) {
+	for _, d := range dialect.All {
+		t.Run(d.String(), func(t *testing.T) {
+			sess := sut.Session{Dialect: d}
+			mem := mustOpen(t, "memengine", sess)
+			defer mem.Close()
+			wired := mustOpen(t, "wire", sess)
+			defer wired.Close()
+			for _, sql := range conformanceScript {
+				a, b := observe(mem, sql), observe(wired, sql)
+				if diff := diffOutcome(a, b); diff != "" {
+					t.Fatalf("backends diverge on %q: %s", sql, diff)
+				}
+			}
+		})
+	}
+}
+
+// TestBackendConformanceUnderFault pins that injected-bug behaviour
+// travels through the wire identically: Listing 1 must return the same
+// wrong result set on both backends.
+func TestBackendConformanceUnderFault(t *testing.T) {
+	sess := sut.Session{Dialect: dialect.SQLite, Faults: faults.NewSet(faults.PartialIndexNotNull)}
+	script := []string{
+		"CREATE TABLE t0(c0)",
+		"CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL",
+		"INSERT INTO t0(c0) VALUES (0), (1), (2), (3), (NULL)",
+		"SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1",
+	}
+	mem := mustOpen(t, "memengine", sess)
+	defer mem.Close()
+	wired := mustOpen(t, "wire", sess)
+	defer wired.Close()
+	for _, sql := range script {
+		a, b := observe(mem, sql), observe(wired, sql)
+		if diff := diffOutcome(a, b); diff != "" {
+			t.Fatalf("backends diverge on %q: %s", sql, diff)
+		}
+	}
+	// And the fault must actually fire: 4 rows stored minus the one the
+	// buggy partial index hides.
+	res, err := mem.Query("SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1")
+	if err != nil || len(res.Rows) != 3 {
+		t.Fatalf("fault did not fire as Listing 1 describes: rows=%d err=%v", len(res.Rows), err)
+	}
+}
+
+// TestFastPathMatchesWireFidelity executes the parsed conformance script
+// through ExecAST on a fast-path session and a wire-fidelity session and
+// asserts identical behaviour — the campaign fast path must not change
+// semantics, only skip the render→reparse round trip.
+func TestFastPathMatchesWireFidelity(t *testing.T) {
+	for _, d := range dialect.All {
+		t.Run(d.String(), func(t *testing.T) {
+			fast := mustOpen(t, "memengine", sut.Session{Dialect: d})
+			defer fast.Close()
+			slow := mustOpen(t, "memengine", sut.Session{Dialect: d, WireFidelity: true})
+			defer slow.Close()
+			for _, sql := range conformanceScript {
+				st, err := sqlparse.ParseOne(sql, d)
+				if err != nil {
+					// Un-parseable for this dialect: both sessions share
+					// the parser, so there is nothing to compare.
+					continue
+				}
+				ra, ea := fast.ExecAST(st)
+				rb, eb := slow.ExecAST(st)
+				if (ea == nil) != (eb == nil) {
+					t.Fatalf("%q: fast path err=%v, wire fidelity err=%v", sql, ea, eb)
+				}
+				if ea != nil {
+					continue
+				}
+				a := outcome{columns: strings.Join(ra.Columns, "|"), rows: renderRows(ra.Rows), affected: ra.RowsAffected}
+				b := outcome{columns: strings.Join(rb.Columns, "|"), rows: renderRows(rb.Rows), affected: rb.RowsAffected}
+				if diff := diffOutcome(a, b); diff != "" {
+					t.Fatalf("fast path diverges on %q: %s", sql, diff)
+				}
+			}
+		})
+	}
+}
+
+func mustOpen(t *testing.T, backend string, sess sut.Session) sut.DB {
+	t.Helper()
+	db, err := sut.Open(backend, sess)
+	if err != nil {
+		t.Fatalf("open %s: %v", backend, err)
+	}
+	return db
+}

@@ -1,0 +1,70 @@
+package sut_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dialect"
+	"repro/internal/faults"
+	"repro/internal/runner"
+)
+
+// TestFaultMatrixWireFidelity is the campaign-level boundary check: every
+// one of the registered faults must still be detected through sut.DB with
+// the session in wire-fidelity mode (render→reparse, the pre-boundary
+// string round trip). Together with runner's TestFullCorpusDetectable —
+// which sweeps the same 39-fault matrix through the default ExecAST fast
+// path — this proves both execution modes of the new API detect the whole
+// corpus.
+func TestFaultMatrixWireFidelity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault matrix sweep is not short")
+	}
+	total := 0
+	for _, d := range dialect.All {
+		for _, info := range faults.ForDialect(d) {
+			info := info
+			d := d
+			total++
+			t.Run(string(info.ID), func(t *testing.T) {
+				t.Parallel()
+				res := runner.Run(runner.Campaign{
+					Dialect:      d,
+					Fault:        info.ID,
+					MaxDatabases: 1500,
+					Workers:      2,
+					BaseSeed:     1,
+					Tester:       core.Config{WireFidelity: true},
+				})
+				if !res.Detected {
+					t.Fatalf("fault %s not detected through wire-fidelity sut.DB in %d databases",
+						info.ID, res.Databases)
+				}
+			})
+		}
+	}
+	if total != 39 {
+		t.Errorf("fault registry has %d faults, matrix expects 39", total)
+	}
+}
+
+// TestCampaignThroughWireBackend proves an end-to-end detection with the
+// campaign stack driving the actual database/sql wire backend — the
+// farthest execution surface from the engine.
+func TestCampaignThroughWireBackend(t *testing.T) {
+	res := runner.Run(runner.Campaign{
+		Dialect:      dialect.SQLite,
+		Fault:        faults.PartialIndexNotNull,
+		MaxDatabases: 400,
+		Workers:      2,
+		BaseSeed:     1,
+		Tester:       core.Config{Backend: "wire"},
+	})
+	if !res.Detected {
+		t.Fatalf("wire backend campaign missed %s in %d databases",
+			faults.PartialIndexNotNull, res.Databases)
+	}
+	if res.Bug.Oracle != faults.OracleContainment {
+		t.Errorf("oracle = %s, want containment", res.Bug.Oracle)
+	}
+}

@@ -1,0 +1,113 @@
+// Package memengine is the in-process SUT backend: it drives the embedded
+// engine substrate directly. Its ExecAST fast path hands generated ASTs
+// straight to the executor, skipping the render→reparse round trip that
+// dominates small-database campaign hot loops; Session.WireFidelity
+// restores the string round trip as an opt-in for parser coverage.
+//
+// Importing this package (usually blank) registers the "memengine"
+// backend with the sut registry.
+package memengine
+
+import (
+	"repro/internal/engine"
+	"repro/internal/sqlast"
+	"repro/internal/sut"
+)
+
+func init() {
+	sut.Register("memengine", driverImpl{})
+}
+
+type driverImpl struct{}
+
+// Open implements sut.Driver.
+func (driverImpl) Open(s sut.Session) (sut.DB, error) {
+	var opts []engine.Option
+	if s.Faults != nil {
+		opts = append(opts, engine.WithFaults(s.Faults))
+	}
+	if s.NoPlanner {
+		opts = append(opts, engine.WithoutPlanner())
+	}
+	return Wrap(engine.Open(s.Dialect, opts...), s), nil
+}
+
+// DB adapts one *engine.Engine to sut.DB.
+type DB struct {
+	e    *engine.Engine
+	sess sut.Session
+}
+
+// Wrap adapts a caller-constructed engine (white-box tests, coverage
+// harnesses) into a sut.DB. The session's Dialect and Faults fields are
+// overwritten from the engine so those two cannot disagree; the caller
+// is responsible for passing a session whose remaining fields (e.g.
+// NoPlanner) match how the engine was opened.
+func Wrap(e *engine.Engine, sess sut.Session) *DB {
+	sess.Dialect = e.Dialect()
+	sess.Faults = e.Faults()
+	return &DB{e: e, sess: sess}
+}
+
+// Underlying exposes the wrapped engine for white-box assertions
+// (coverage counters, planner internals). Tester-stack code must not use
+// it — the boundary exists so backends stay swappable.
+func (d *DB) Underlying() *engine.Engine { return d.e }
+
+// Exec implements sut.DB.
+func (d *DB) Exec(sql string) (*sut.Result, error) {
+	return convert(d.e.Exec(sql))
+}
+
+// Query implements sut.DB.
+func (d *DB) Query(sql string) (*sut.Result, error) {
+	return convert(d.e.Query(sql))
+}
+
+// ExecAST implements sut.DB: the campaign fast path. Under wire fidelity
+// the statement is rendered and reparsed, reproducing exactly what a
+// string-protocol client would execute.
+func (d *DB) ExecAST(st sqlast.Stmt) (*sut.Result, error) {
+	if d.sess.WireFidelity {
+		return convert(d.e.Exec(sqlast.SQL(st, d.sess.Dialect)))
+	}
+	return convert(d.e.ExecStmt(st))
+}
+
+// Plan implements sut.DB.
+func (d *DB) Plan(sql string) ([]string, error) {
+	paths, err := d.e.PlanSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		out[i] = p.Detail()
+	}
+	return out, nil
+}
+
+// Introspect implements sut.DB; *engine.Engine satisfies the full
+// introspection surface itself.
+func (d *DB) Introspect() sut.Introspection { return d.e }
+
+// Session implements sut.DB.
+func (d *DB) Session() sut.Session { return d.sess }
+
+// Close implements sut.DB. The engine is garbage-collected state; there
+// is nothing to release.
+func (d *DB) Close() error { return nil }
+
+func convert(res *engine.Result, err error) (*sut.Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return &sut.Result{}, nil
+	}
+	return &sut.Result{
+		Columns:      res.Columns,
+		Rows:         res.Rows,
+		RowsAffected: res.RowsAffected,
+	}, nil
+}

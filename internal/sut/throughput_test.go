@@ -1,0 +1,47 @@
+package sut_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dialect"
+)
+
+// TestFastPathThroughputRegression is the tripwire behind the documented
+// claim that the ExecAST fast path beats wire-fidelity mode by ≥1.5×
+// databases/sec (BenchmarkCampaignThroughput is the precise measurement).
+// The asserted floor is deliberately conservative — 1.15× over a few
+// hundred identical lifecycles — so the test stays stable on loaded CI
+// machines while still failing loudly if the fast path ever stops paying
+// for itself.
+func TestFastPathThroughputRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement is not short")
+	}
+	const lifecycles = 400
+	run := func(wireFidelity bool) time.Duration {
+		tester := core.NewTester(core.Config{
+			Dialect:      dialect.SQLite,
+			Seed:         1,
+			QueriesPerDB: 20,
+			WireFidelity: wireFidelity,
+		})
+		start := time.Now()
+		for i := 0; i < lifecycles; i++ {
+			if _, err := tester.RunDatabase(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	// Warm up once to stabilize allocator state, then measure.
+	run(false)
+	fast := run(false)
+	wire := run(true)
+	ratio := float64(wire) / float64(fast)
+	t.Logf("fast=%s wire-fidelity=%s ratio=%.2fx", fast, wire, ratio)
+	if ratio < 1.15 {
+		t.Errorf("ExecAST fast path only %.2fx faster than wire fidelity (conservative floor 1.15x; benchmark target 1.5x)", ratio)
+	}
+}
