@@ -696,6 +696,178 @@ func BenchmarkPlannerOverhead(b *testing.B) {
 	b.Run("planner-off", func(b *testing.B) { run(b, baseline) })
 }
 
+// rowFilterShape is one BenchmarkRowFilter workload: a setup script and a
+// query whose WHERE/ON clauses dominate execution.
+type rowFilterShape struct {
+	name  string
+	setup []string
+	query string
+	rows  int // expected result size, asserted by measureRowFilter
+}
+
+// rowFilterShapes builds the two acceptance shapes for compiled expression
+// programs: a wide single-table scan and a 3-way join. Neither table is
+// indexed, so the planner cannot shortcut the filter — every row runs the
+// predicate.
+func rowFilterShapes() []rowFilterShape {
+	const scanRows = 4000
+	var scanSetup []string
+	scanSetup = append(scanSetup, "CREATE TABLE t0(c0 INT, c1 TEXT, c2 REAL, c3 INT, c4 TEXT COLLATE NOCASE, c5 INT)")
+	var sb strings.Builder
+	for i := 0; i < scanRows; i++ {
+		if i%500 == 0 {
+			if sb.Len() > 0 {
+				scanSetup = append(scanSetup, sb.String())
+			}
+			sb.Reset()
+			sb.WriteString("INSERT INTO t0 VALUES ")
+		} else {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'v%d', %d.5, %d, 'K%d', %d)", i, i, i%97, i%13, i%7, i%29)
+	}
+	scanSetup = append(scanSetup, sb.String())
+
+	joinSetup := []string{
+		"CREATE TABLE a(c0 INT, c1 TEXT)",
+		"CREATE TABLE b(c0 INT, c1 INT)",
+		"CREATE TABLE c(c0 INT, c1 INT)",
+	}
+	for _, spec := range []struct {
+		table string
+		text  bool
+	}{{"a", true}, {"b", false}, {"c", false}} {
+		var ins strings.Builder
+		fmt.Fprintf(&ins, "INSERT INTO %s VALUES ", spec.table)
+		for i := 0; i < 25; i++ {
+			if i > 0 {
+				ins.WriteString(", ")
+			}
+			if spec.text {
+				fmt.Fprintf(&ins, "(%d, 'n%d')", i, i%5)
+			} else {
+				fmt.Fprintf(&ins, "(%d, %d)", i, i%5)
+			}
+		}
+		joinSetup = append(joinSetup, ins.String())
+	}
+
+	return []rowFilterShape{
+		{
+			name:  "wide-scan",
+			setup: scanSetup,
+			query: "SELECT c0, c1 FROM t0 WHERE (c0 % 7 = 1 AND c2 > 40.0) OR (c4 = 'k3' AND c3 + c5 < 20) OR c1 LIKE 'v39%'",
+			rows:  705,
+		},
+		{
+			name:  "join-3way",
+			setup: joinSetup,
+			query: "SELECT a.c0, c.c1 FROM a JOIN b ON a.c0 = b.c0 AND b.c1 < 4 JOIN c ON b.c1 = c.c1 WHERE a.c1 <> 'n0' AND a.c0 + c.c0 > 3",
+			rows:  74,
+		},
+	}
+}
+
+var (
+	rowFilterOnce   sync.Once
+	rowFilterRatios map[string]float64
+)
+
+// measureRowFilter computes the compiled-vs-interpreted time ratio per
+// shape once per process (manual timing so the -benchtime=1x CI smoke
+// still exercises it meaningfully).
+func measureRowFilter(b *testing.B) map[string]float64 {
+	rowFilterOnce.Do(func() {
+		rowFilterRatios = map[string]float64{}
+		for _, shape := range rowFilterShapes() {
+			compiled := engine.Open(dialect.SQLite)
+			interp := engine.Open(dialect.SQLite, engine.WithoutCompiledEval())
+			for _, e := range []*engine.Engine{compiled, interp} {
+				for _, s := range shape.setup {
+					if _, err := e.Exec(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			sel, err := sqlparse.ParseOne(shape.query, dialect.SQLite)
+			if err != nil {
+				b.Fatal(err)
+			}
+			measure := func(e *engine.Engine, iters int) time.Duration {
+				// Warm once (compiles and caches the programs) and check
+				// the workload hasn't degenerated: a predicate selecting
+				// the wrong row count would make the ratio meaningless.
+				res, err := e.ExecStmt(sel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != shape.rows {
+					b.Fatalf("%s: %d result rows, want %d — shape drifted", shape.name, len(res.Rows), shape.rows)
+				}
+				start := time.Now()
+				for i := 0; i < iters; i++ {
+					if _, err := e.ExecStmt(sel); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return time.Since(start) / time.Duration(iters)
+			}
+			ct := measure(compiled, 60)
+			it := measure(interp, 60)
+			rowFilterRatios[shape.name] = float64(it) / float64(ct)
+			printExperiment("row-filter-"+shape.name, fmt.Sprintf(
+				"Row filter (%s): compiled %v/op vs tree-walk %v/op -> %.1fx\n",
+				shape.name, ct, it, rowFilterRatios[shape.name]))
+		}
+	})
+	return rowFilterRatios
+}
+
+// BenchmarkRowFilter measures the compiled-expression tentpole: the same
+// predicate-heavy queries through compiled programs vs the tree-walk
+// interpreter, on a wide scan and a 3-way join. The self-measured ratio is
+// a CI tripwire: the acceptance target is >= 2x, and the benchmark fails
+// below a conservative 1.5x so a regression that erases the win cannot
+// land silently (the -benchtime=1x smoke runs this on every push).
+func BenchmarkRowFilter(b *testing.B) {
+	for _, shape := range rowFilterShapes() {
+		shape := shape
+		for _, mode := range []struct {
+			name string
+			opts []engine.Option
+		}{
+			{"compiled", nil},
+			{"tree-walk", []engine.Option{engine.WithoutCompiledEval()}},
+		} {
+			b.Run(shape.name+"/"+mode.name, func(b *testing.B) {
+				e := engine.Open(dialect.SQLite, mode.opts...)
+				for _, s := range shape.setup {
+					if _, err := e.Exec(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+				sel, err := sqlparse.ParseOne(shape.query, dialect.SQLite)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.ExecStmt(sel); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	// The tripwire proper (printExperiment has already shown the ratios;
+	// a parent benchmark that calls b.Run reports no metrics of its own).
+	for name, r := range measureRowFilter(b) {
+		if r < 1.5 {
+			b.Errorf("compiled row filter only %.2fx tree-walk on %s (tripwire 1.5x, target 2x)", r, name)
+		}
+	}
+}
+
 // BenchmarkAblationQueriesPerDB (ablation 6): how long to keep one database
 // before regenerating (Figure 1's "continue with 1 or 2").
 func BenchmarkAblationQueriesPerDB(b *testing.B) {

@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	dbshell -dialect sqlite [-backend memengine|wire] [-fault sqlite.partial-index-not-null]
+//	dbshell -dialect sqlite [-backend memengine|wire] [-fault sqlite.partial-index-not-null] [-no-compile]
 //
 // Statements end with ';'. Meta commands: .tables, .schema <t>,
-// .plan <select>, .backend, .quit. `EXPLAIN [QUERY PLAN] <select>;` also
-// works as a statement and reports the planner's chosen access path per
-// FROM source.
+// .plan <select>, .timer [on|off], .backend, .quit. `EXPLAIN [QUERY PLAN]
+// <select>;` also works as a statement and reports the planner's chosen
+// access path per FROM source. `.timer on` prints per-statement wall time
+// — combined with -no-compile it A/B-tests compiled expression programs
+// against the tree-walk interpreter.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/dialect"
 	"repro/internal/faults"
@@ -31,6 +34,7 @@ func main() {
 		backendFlag = flag.String("backend", sut.DefaultBackend, "SUT backend (memengine, wire)")
 		faultFlag   = flag.String("fault", "", "comma-separated faults to inject")
 		noPlanner   = flag.Bool("no-planner", false, "disable index access paths")
+		noCompile   = flag.Bool("no-compile", false, "disable compiled expression programs (tree-walk evaluation)")
 	)
 	flag.Parse()
 
@@ -39,7 +43,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sess := sut.Session{Dialect: d, NoPlanner: *noPlanner}
+	sess := sut.Session{Dialect: d, NoPlanner: *noPlanner, NoCompile: *noCompile}
 	if *faultFlag != "" {
 		fs := faults.NewSet()
 		for _, name := range strings.Split(*faultFlag, ",") {
@@ -122,17 +126,40 @@ func meta(db sut.DB, backend, cmd string) bool {
 		for _, p := range paths {
 			fmt.Println(" ", p)
 		}
+	case strings.HasPrefix(cmd, ".timer"):
+		switch arg := strings.TrimSpace(strings.TrimPrefix(cmd, ".timer")); arg {
+		case "on":
+			timerOn = true
+		case "off":
+			timerOn = false
+		case "":
+			timerOn = !timerOn
+		default:
+			fmt.Println("usage: .timer [on|off]")
+			return true
+		}
+		fmt.Printf("timer %s\n", map[bool]string{true: "on", false: "off"}[timerOn])
 	default:
-		fmt.Println("meta commands: .tables, .schema <t>, .plan <select>, .backend, .quit")
+		fmt.Println("meta commands: .tables, .schema <t>, .plan <select>, .timer [on|off], .backend, .quit")
 	}
 	return true
 }
+
+// timerOn makes run print per-statement wall time (.timer toggle).
+var timerOn bool
 
 func run(db sut.DB, sql string) {
 	// The shell cannot know whether a statement returns rows, so it always
 	// uses the query path; on the wire backend DML then reports no
 	// affected-row count (database/sql queries cannot carry one).
+	start := time.Now()
 	res, err := db.Query(sql)
+	elapsed := time.Since(start)
+	if timerOn {
+		// Printed for errors too: bind-time rejection vs per-row failure
+		// is exactly the cost difference -no-compile A/B runs look at.
+		defer fmt.Printf("Run Time: %s\n", elapsed)
+	}
 	if err != nil {
 		fmt.Println("error:", err)
 		return

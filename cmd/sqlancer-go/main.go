@@ -13,7 +13,9 @@
 // -backend selects the SUT driver (memengine drives the engine in
 // process with the ExecAST fast path; wire goes through database/sql);
 // -wire-fidelity keeps the memengine backend but re-renders and reparses
-// every statement, for parser coverage.
+// every statement, for parser coverage. -no-compile disables compiled
+// expression programs so A/B runs can compare the tree-walk evaluator
+// (see DESIGN.md "Compiled expression programs").
 package main
 
 import (
@@ -48,6 +50,7 @@ func main() {
 		doReduce    = flag.Bool("reduce", true, "reduce detected test cases")
 		backend     = flag.String("backend", sut.DefaultBackend, "SUT backend: memengine, wire")
 		wireFid     = flag.Bool("wire-fidelity", false, "render+reparse each statement instead of the AST fast path")
+		noCompile   = flag.Bool("no-compile", false, "disable compiled expression programs (tree-walk evaluation)")
 		listFaults  = flag.Bool("list-faults", false, "print the fault registry and exit")
 	)
 	flag.Parse()
@@ -67,14 +70,19 @@ func main() {
 
 	switch *mode {
 	case "pqs":
-		runPQS(d, *faultFlag, *backend, *wireFid, *maxDBs, *workers, *seed, *rows, *depth, *queries, *doReduce)
+		runPQS(d, *faultFlag, *backend, *wireFid, *noCompile, *maxDBs, *workers, *seed, *rows, *depth, *queries, *doReduce)
 	case "fuzz":
-		runFuzz(d, *faultFlag, *backend, *wireFid, *maxDBs, *seed, *queries)
+		runFuzz(d, *faultFlag, *backend, *wireFid, *noCompile, *maxDBs, *seed, *queries)
 	case "diff":
 		if *wireFid {
 			// The differential baseline is already string-based end to
 			// end; there is no AST fast path to opt out of.
 			fatal(fmt.Errorf("-wire-fidelity does not apply to -mode diff"))
+		}
+		if *noCompile {
+			// diffdb opens its own sessions and does not plumb engine
+			// options; reject rather than silently ignore.
+			fatal(fmt.Errorf("-no-compile does not apply to -mode diff"))
 		}
 		r, err := dialect.Parse(*rightFlag)
 		if err != nil {
@@ -102,7 +110,7 @@ func parseFault(name string) faults.Fault {
 	return f
 }
 
-func runPQS(d dialect.Dialect, faultName, backend string, wireFid bool, maxDBs, workers int, seed int64, rows, depth, queries int, doReduce bool) {
+func runPQS(d dialect.Dialect, faultName, backend string, wireFid, noCompile bool, maxDBs, workers int, seed int64, rows, depth, queries int, doReduce bool) {
 	res := runner.Run(runner.Campaign{
 		Dialect:      d,
 		Fault:        parseFault(faultName),
@@ -116,6 +124,7 @@ func runPQS(d dialect.Dialect, faultName, backend string, wireFid bool, maxDBs, 
 			QueriesPerDB: queries,
 			Backend:      backend,
 			WireFidelity: wireFid,
+			NoCompile:    noCompile,
 		},
 	})
 	fmt.Printf("dialect=%s fault=%s databases=%d statements=%d queries=%d elapsed=%s\n",
@@ -131,13 +140,13 @@ func runPQS(d dialect.Dialect, faultName, backend string, wireFid bool, maxDBs, 
 	}
 }
 
-func runFuzz(d dialect.Dialect, faultName, backend string, wireFid bool, maxDBs int, seed int64, queries int) {
+func runFuzz(d dialect.Dialect, faultName, backend string, wireFid, noCompile bool, maxDBs int, seed int64, queries int) {
 	var fs *faults.Set
 	if f := parseFault(faultName); f != "" {
 		fs = faults.NewSet(f)
 	}
 	for i := 0; i < maxDBs; i++ {
-		f := fuzz.New(fuzz.Config{Dialect: d, Seed: seed + int64(i), Faults: fs, QueriesPerDB: queries, Backend: backend, WireFidelity: wireFid})
+		f := fuzz.New(fuzz.Config{Dialect: d, Seed: seed + int64(i), Faults: fs, QueriesPerDB: queries, Backend: backend, WireFidelity: wireFid, NoCompile: noCompile})
 		bug, err := f.RunDatabase()
 		if err != nil {
 			fatal(err)

@@ -15,6 +15,12 @@
 // database/sql instead. A shared conformance suite holds the two backends
 // to identical behaviour.
 //
+// The engine evaluates query predicates through compiled expression
+// programs (slot-bound closures, internal/eval's Compile); the
+// Session.NoCompile option — `-no-compile` on the CLIs — restores the
+// tree-walk interpreter for A/B runs. See DESIGN.md "Compiled expression
+// programs".
+//
 // The root package holds the benchmark harness (bench_test.go) that
 // regenerates every table and figure of the paper's evaluation; the
 // implementation lives under internal/ (see DESIGN.md for the map).

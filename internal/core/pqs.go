@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/dialect"
+	"repro/internal/eval"
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/interp"
@@ -43,6 +44,12 @@ type Config struct {
 	// coverage (measurably slower; BenchmarkCampaignThroughput tracks the
 	// gap).
 	WireFidelity bool
+	// NoCompile disables the engine's compiled expression programs (the
+	// `-no-compile` escape hatch for A/B runs): every clause of every
+	// query executes through the tree-walk interpreter, and the
+	// UseEngineAsOracle ablation's pivot checks fall back to tree walks
+	// too. See DESIGN.md "Compiled expression programs".
+	NoCompile bool
 
 	// MaxExprDepth bounds generated expression trees (Algorithm 1's
 	// maxdepth). Default 3.
@@ -144,6 +151,13 @@ type Tester struct {
 	// retains these past one iteration).
 	colsBuf  []gen.ColumnPick
 	hintsBuf []sqlval.Value
+
+	// pivotLay/pivotFrame are the compiled pivot-check state of the
+	// engine-as-oracle ablation, rebuilt by bindPivot each iteration
+	// (nil/empty when the independent interpreter is the oracle or
+	// compilation is disabled).
+	pivotLay   *pivotLayout
+	pivotFrame eval.Frame
 }
 
 // NewTester creates a tester.
@@ -171,6 +185,7 @@ func (c Config) session() sut.Session {
 		Dialect:      c.Dialect,
 		Faults:       c.Faults,
 		WireFidelity: c.WireFidelity,
+		NoCompile:    c.NoCompile,
 	}
 }
 
@@ -481,15 +496,16 @@ func (t *Tester) negativeIteration(db sut.DB, pivots []pivotRow, ctx *interp.Con
 // expression is modified to evaluate FALSE on the pivot row.
 func (t *Tester) falsifiedCondition(ctx *interp.Context, cols []gen.ColumnPick, hints []sqlval.Value) (sqlast.Expr, bool) {
 	eg := &gen.ExprGen{Rnd: t.rnd, Cols: cols, Hints: hints, ColValues: pivotColValues(cols, hints), MaxDepth: t.cfg.MaxExprDepth}
+	evalExpr, evalWrapped := t.condOracle(ctx)
 	for tries := 0; tries < 20; tries++ {
 		expr := eg.Generate()
-		tb, err := t.evalBool(expr, ctx)
+		tb, err := evalExpr(expr)
 		if err != nil {
 			t.stats.Discarded++
 			continue
 		}
 		falsified := RectifyFalse(expr, tb)
-		if check, err := t.evalBool(falsified, ctx); err != nil || check != sqlval.TriFalse {
+		if check, err := evalWrapped(expr, falsified); err != nil || check != sqlval.TriFalse {
 			t.stats.Discarded++
 			continue
 		}
@@ -558,16 +574,81 @@ func (t *Tester) bindPivot(intro sut.Introspection, pivots []pivotRow, sg *gen.S
 		hints = append(hints, sg.Hints...)
 	}
 	t.colsBuf, t.hintsBuf = cols, hints
+	t.pivotLay, t.pivotFrame = nil, eval.Frame{}
+	if t.cfg.UseEngineAsOracle && !t.cfg.NoCompile {
+		t.pivotLay = newPivotLayout(cols)
+		t.pivotFrame = eval.Frame{Rows: [][]sqlval.Value{pivotColValues(cols, hints)}}
+	}
 	return ctx, cols, hints
+}
+
+// condOracle returns the evaluator pair the condition loops use: evalExpr
+// evaluates a freshly generated expression on the pivot row, evalWrapped
+// re-checks the rectified wrapper built around the expression evalExpr saw
+// last. The default oracle stays the independent tree-walk interpreter
+// (Algorithm 2 shares no evaluation machinery with the engine — compiled
+// or otherwise — which is what keeps evaluator bugs observable). Under the
+// UseEngineAsOracle ablation the predicate compiles once per candidate
+// against the pivot layout, and the verification re-check wraps the
+// already-compiled program instead of re-walking the whole tree.
+func (t *Tester) condOracle(ctx *interp.Context) (
+	evalExpr func(sqlast.Expr) (sqlval.TriBool, error),
+	evalWrapped func(orig, wrapped sqlast.Expr) (sqlval.TriBool, error),
+) {
+	if !t.cfg.UseEngineAsOracle {
+		return func(e sqlast.Expr) (sqlval.TriBool, error) {
+				return interp.EvalBool(e, ctx)
+			}, func(_, wrapped sqlast.Expr) (sqlval.TriBool, error) {
+				return interp.EvalBool(wrapped, ctx)
+			}
+	}
+	ev := engineEvaluatorFor(t.cfg, ctx)
+	if t.pivotLay == nil {
+		env := &ctxEnv{ctx: ctx}
+		return func(e sqlast.Expr) (sqlval.TriBool, error) {
+				return ev.EvalBool(e, env)
+			}, func(_, wrapped sqlast.Expr) (sqlval.TriBool, error) {
+				return ev.EvalBool(wrapped, env)
+			}
+	}
+	var lastExpr sqlast.Expr
+	var lastProg *eval.Program
+	evalExpr = func(e sqlast.Expr) (sqlval.TriBool, error) {
+		prog, err := ev.Compile(e, t.pivotLay)
+		if err != nil {
+			return sqlval.TriUnknown, err
+		}
+		lastExpr, lastProg = e, prog
+		return prog.EvalBool(&t.pivotFrame)
+	}
+	evalWrapped = func(orig, wrapped sqlast.Expr) (sqlval.TriBool, error) {
+		if wrapped == orig && orig == lastExpr && lastProg != nil {
+			return lastProg.EvalBool(&t.pivotFrame)
+		}
+		if u, ok := wrapped.(*sqlast.Unary); ok && u.X == lastExpr && lastProg != nil {
+			prog, err := ev.CompileWrapped(u, lastProg, t.pivotLay)
+			if err != nil {
+				return sqlval.TriUnknown, err
+			}
+			return prog.EvalBool(&t.pivotFrame)
+		}
+		prog, err := ev.Compile(wrapped, t.pivotLay)
+		if err != nil {
+			return sqlval.TriUnknown, err
+		}
+		return prog.EvalBool(&t.pivotFrame)
+	}
+	return evalExpr, evalWrapped
 }
 
 // rectifiedCondition implements steps 3–4: generate a random expression,
 // evaluate it on the pivot row, and modify it to yield TRUE (Algorithm 3).
 func (t *Tester) rectifiedCondition(ctx *interp.Context, cols []gen.ColumnPick, hints []sqlval.Value) (sqlast.Expr, bool) {
 	eg := &gen.ExprGen{Rnd: t.rnd, Cols: cols, Hints: hints, ColValues: pivotColValues(cols, hints), MaxDepth: t.cfg.MaxExprDepth}
+	evalExpr, evalWrapped := t.condOracle(ctx)
 	for tries := 0; tries < 20; tries++ {
 		expr := eg.Generate()
-		tb, err := t.evalBool(expr, ctx)
+		tb, err := evalExpr(expr)
 		if err != nil {
 			t.stats.Discarded++
 			continue
@@ -584,23 +665,13 @@ func (t *Tester) rectifiedCondition(ctx *interp.Context, cols []gen.ColumnPick, 
 		t.stats.Rectified[tb]++
 		rectified := Rectify(expr, tb)
 		// Sanity: the rectified condition must evaluate TRUE.
-		if check, err := t.evalBool(rectified, ctx); err != nil || check != sqlval.TriTrue {
+		if check, err := evalWrapped(expr, rectified); err != nil || check != sqlval.TriTrue {
 			t.stats.Discarded++
 			continue
 		}
 		return rectified, true
 	}
 	return nil, false
-}
-
-// evalBool consults the oracle: the independent interpreter, or (under
-// ablation 1) the engine's own evaluator.
-func (t *Tester) evalBool(expr sqlast.Expr, ctx *interp.Context) (sqlval.TriBool, error) {
-	if !t.cfg.UseEngineAsOracle {
-		return interp.EvalBool(expr, ctx)
-	}
-	ev := engineEvaluatorFor(t.cfg, ctx)
-	return ev.EvalBool(expr, &ctxEnv{ctx: ctx})
 }
 
 // evalValue computes a result-column expression's expected value through

@@ -1,10 +1,12 @@
 // Package dbdriver exposes the engine substrate through database/sql, so
 // example code reads like ordinary Go database code. The DSN selects the
-// dialect profile and, optionally, injected faults and planner mode:
+// dialect profile and, optionally, injected faults, planner mode, and
+// expression-compilation mode:
 //
 //	db, _ := sql.Open("pqs", "sqlite")
 //	db, _ := sql.Open("pqs", "mysql?fault=mysql.double-negation,mysql.set-option-error")
 //	db, _ := sql.Open("pqs", "sqlite?planner=off")
+//	db, _ := sql.Open("pqs", "sqlite?compile=off")
 //
 // Repeated fault= parameters merge into one set. The driver supports
 // plain statements only (no placeholders); transactions are accepted as
@@ -65,6 +67,14 @@ func (*Driver) Open(dsn string) (driver.Conn, error) {
 				case "on": // the default; accepted for symmetry
 				default:
 					return nil, fmt.Errorf("pqs driver: planner=%q (want on or off)", v)
+				}
+			case "compile":
+				switch v {
+				case "off":
+					opts = append(opts, engine.WithoutCompiledEval())
+				case "on": // the default; accepted for symmetry
+				default:
+					return nil, fmt.Errorf("pqs driver: compile=%q (want on or off)", v)
 				}
 			default:
 				return nil, fmt.Errorf("pqs driver: unknown DSN parameter %q", k)

@@ -1,0 +1,164 @@
+// Compiled-expression wiring for the executor: the relation layout the
+// eval compiler binds slots against, the per-statement program cache, and
+// exprEval — the per-SELECT facade that hands the query path closures
+// which evaluate through compiled programs by default and through the
+// tree-walk interpreter when compilation is disabled (WithoutCompiledEval,
+// the -no-compile escape hatch).
+package engine
+
+import (
+	"repro/internal/eval"
+	"repro/internal/sqlast"
+	"repro/internal/sqlval"
+)
+
+// relLayout exposes a statement's FROM relations as the compile-time
+// layout for eval.Compile. Resolution goes through the same findColumn
+// the tree-walk env uses — same case folding, same alias/table precedence
+// — so compiled and interpreted paths bind identically.
+type relLayout struct {
+	rels []*relation
+}
+
+// NumRels implements eval.Layout.
+func (l relLayout) NumRels() int { return len(l.rels) }
+
+// Resolve implements eval.Layout.
+func (l relLayout) Resolve(table, column string) (eval.Slot, eval.Meta, error) {
+	ri, ci, ambiguous := findColumn(l.rels, table, column)
+	if ambiguous {
+		return eval.Slot{}, eval.Meta{}, eval.ErrAmbiguousColumn(column)
+	}
+	if ri < 0 {
+		return eval.Slot{}, eval.Meta{}, eval.ErrNoSuchColumn(table, column)
+	}
+	col := l.rels[ri].columns[ci]
+	return eval.Slot{Rel: ri, Col: ci}, eval.Meta{
+		Coll:        col.Collate,
+		Affinity:    col.Affinity,
+		Unsigned:    col.Unsigned,
+		TypeName:    col.TypeName,
+		TableEngine: l.rels[ri].engine,
+	}, nil
+}
+
+// progCacheMax bounds the per-engine program cache. Campaigns execute
+// mostly fresh ASTs (each query a new pointer), so entries die with their
+// statements; the bound only matters for long shell sessions, where a
+// periodic full clear is simpler and cheaper than an eviction policy.
+const progCacheMax = 1024
+
+// compiledProgram compiles expr against the layout, caching by expression
+// node identity. A node belongs to exactly one statement and a statement
+// always materializes the same relation layout for it (FROM resolution is
+// deterministic from the catalog), so node identity is the statement
+// identity the cache needs; every DDL-class statement clears the cache
+// before executing (see ExecStmt) because cached slots would go stale.
+func (e *Engine) compiledProgram(expr sqlast.Expr, lay relLayout) (*eval.Program, error) {
+	if p, ok := e.progs[expr]; ok {
+		return p, nil
+	}
+	p, err := e.ev.Compile(expr, lay)
+	if err != nil {
+		return nil, err
+	}
+	if len(e.progs) >= progCacheMax {
+		clear(e.progs)
+	}
+	e.progs[expr] = p
+	return p, nil
+}
+
+// invalidatesPrograms reports whether a statement may change the schema
+// (or session shape) cached programs were compiled against.
+func invalidatesPrograms(st sqlast.Stmt) bool {
+	switch st.(type) {
+	case *sqlast.CreateTable, *sqlast.CreateIndex, *sqlast.CreateView,
+		*sqlast.CreateStats, *sqlast.AlterTable, *sqlast.Drop,
+		*sqlast.Maintenance, *sqlast.SetOption:
+		return true
+	}
+	return false
+}
+
+// exprEval evaluates the expressions of one SELECT execution. It exists so
+// the query path asks for a closure once per clause and calls it once per
+// row combination — with compilation on, the closure runs a slot-bound
+// program over a reusable frame; with compilation off, it walks the tree
+// through the joined-row env exactly as before.
+type exprEval struct {
+	e        *Engine
+	compiled bool
+	env      joinedEnv
+	lay      relLayout
+	frame    eval.Frame
+}
+
+// newExprEval prepares expression evaluation over a relation set.
+func (e *Engine) newExprEval(rels []*relation) *exprEval {
+	x := &exprEval{e: e, env: joinedEnv{rels: rels}}
+	if !e.noCompile {
+		x.compiled = true
+		x.lay = relLayout{rels: rels}
+		x.frame.Rows = make([][]sqlval.Value, len(rels))
+	}
+	return x
+}
+
+// setRow points the evaluation state at one row combination; the closures
+// returned by valueFn/boolFn evaluate against the most recent setRow.
+// Callers bind the row once per combination, however many expressions
+// they then evaluate on it. A nil row (or a combo shorter than the
+// layout) is the NULL-extended side of an outer join.
+func (x *exprEval) setRow(combo []*rowVals) {
+	if !x.compiled {
+		x.env.current = combo
+		return
+	}
+	rows := x.frame.Rows
+	for i := range rows {
+		if i < len(combo) && combo[i] != nil {
+			rows[i] = combo[i].vals
+		} else {
+			rows[i] = nil
+		}
+	}
+}
+
+// valueFn returns a closure computing expr against the current row (see
+// setRow). With compilation on, bind errors (missing or ambiguous
+// columns) surface here — once per statement — rather than per row. That
+// is the one intended behavioural difference from tree-walk mode: over an
+// empty row set the interpreter never evaluates the clause and a bad
+// reference passes silently, while the compiled path rejects the
+// statement up front (what a real DBMS's prepare step does).
+func (x *exprEval) valueFn(expr sqlast.Expr) (func() (sqlval.Value, error), error) {
+	if !x.compiled {
+		return func() (sqlval.Value, error) {
+			return x.e.ev.Eval(expr, &x.env)
+		}, nil
+	}
+	prog, err := x.e.compiledProgram(expr, x.lay)
+	if err != nil {
+		return nil, err
+	}
+	return func() (sqlval.Value, error) {
+		return prog.Eval(&x.frame)
+	}, nil
+}
+
+// boolFn is valueFn for filter conditions.
+func (x *exprEval) boolFn(expr sqlast.Expr) (func() (sqlval.TriBool, error), error) {
+	if !x.compiled {
+		return func() (sqlval.TriBool, error) {
+			return x.e.ev.EvalBool(expr, &x.env)
+		}, nil
+	}
+	prog, err := x.e.compiledProgram(expr, x.lay)
+	if err != nil {
+		return nil, err
+	}
+	return func() (sqlval.TriBool, error) {
+		return prog.EvalBool(&x.frame)
+	}, nil
+}

@@ -59,8 +59,13 @@ type Engine struct {
 	corrupt           string // non-empty: database is corrupted; message
 	caseSensitiveLike bool
 	noPlanner         bool // force full scans (differential-test baseline)
+	noCompile         bool // force tree-walk evaluation (compiled-eval baseline)
 	skipIndexMaint    bool // stale-index fault: storeRow leaves indexes untouched
 	globals           map[string]sqlval.Value
+
+	// progs caches compiled expression programs by AST node identity;
+	// DDL-class statements clear it (see compiled.go).
+	progs map[sqlast.Expr]*eval.Program
 
 	cov *Coverage
 }
@@ -80,6 +85,14 @@ func WithoutPlanner() Option {
 	return func(e *Engine) { e.noPlanner = true }
 }
 
+// WithoutCompiledEval disables the compiled-expression fast path: every
+// clause evaluates through the tree-walk interpreter. This is the
+// `-no-compile` escape hatch for A/B runs and the baseline half of the
+// compiled-vs-interpreted differential suites.
+func WithoutCompiledEval() Option {
+	return func(e *Engine) { e.noCompile = true }
+}
+
 // Open creates an empty database for the dialect.
 func Open(d dialect.Dialect, opts ...Option) *Engine {
 	e := &Engine{
@@ -89,6 +102,7 @@ func Open(d dialect.Dialect, opts ...Option) *Engine {
 		idx:     map[string]*storage.IndexData{},
 		state:   map[string]*tableState{},
 		globals: map[string]sqlval.Value{},
+		progs:   map[sqlast.Expr]*eval.Program{},
 		cov:     newCoverage(),
 	}
 	for _, o := range opts {
@@ -149,6 +163,9 @@ func (e *Engine) ExecStmt(st sqlast.Stmt) (res *Result, err error) {
 	}()
 	e.seq++
 	e.cov.hit("stmt." + st.Kind())
+	if len(e.progs) > 0 && invalidatesPrograms(st) {
+		clear(e.progs)
+	}
 
 	// A corrupted database fails every subsequent data statement, like
 	// SQLite's persistent "database disk image is malformed".

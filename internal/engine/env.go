@@ -38,22 +38,27 @@ func eqFold(a, b string) bool {
 	return a == b || strings.EqualFold(a, b)
 }
 
-func (j *joinedEnv) find(table, column string) (int, int) {
+// findColumn resolves a (possibly unqualified) column reference over a
+// relation set. ambiguous reports an unqualified name matching more than
+// one column — a distinct condition from a missing name (both return
+// ri = -1). The compile-time layout (relLayout) and the tree-walk env
+// below share this resolver so both paths bind identically.
+func findColumn(rels []*relation, table, column string) (ri, ci int, ambiguous bool) {
 	if table != "" {
-		for ri, r := range j.rels {
+		for ri, r := range rels {
 			if eqFold(r.name, table) || eqFold(r.table, table) {
 				for ci := range r.columns {
 					if eqFold(r.columns[ci].Name, column) {
-						return ri, ci
+						return ri, ci, false
 					}
 				}
-				return -1, -1
+				return -1, -1, false
 			}
 		}
-		return -1, -1
+		return -1, -1, false
 	}
 	foundR, foundC, n := -1, -1, 0
-	for ri, r := range j.rels {
+	for ri, r := range rels {
 		for ci := range r.columns {
 			if eqFold(r.columns[ci].Name, column) {
 				foundR, foundC = ri, ci
@@ -62,9 +67,24 @@ func (j *joinedEnv) find(table, column string) (int, int) {
 		}
 	}
 	if n == 1 {
-		return foundR, foundC
+		return foundR, foundC, false
 	}
-	return -1, -1
+	return -1, -1, n > 1
+}
+
+func (j *joinedEnv) find(table, column string) (int, int) {
+	ri, ci, _ := findColumn(j.rels, table, column)
+	return ri, ci
+}
+
+// ColumnErr implements eval.ResolveErrEnv: an unqualified reference
+// matching more than one relation column reports "ambiguous column name"
+// instead of masquerading as a missing column.
+func (j *joinedEnv) ColumnErr(table, column string) error {
+	if _, _, ambiguous := findColumn(j.rels, table, column); ambiguous {
+		return eval.ErrAmbiguousColumn(column)
+	}
+	return nil
 }
 
 // ColumnValue implements eval.Env.

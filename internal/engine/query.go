@@ -436,6 +436,20 @@ func (e *Engine) joinRows(n *sqlast.Select, rels []*relation, joins []joinInfo) 
 	scratch := make([]*rowVals, 0, len(rels))
 	for i := 1; i < len(rels); i++ {
 		j := joins[i-1]
+		// The ON condition is bound once per join level — against the
+		// layout prefix visible at this level, so unqualified-name
+		// resolution (and its ambiguity rules) match the tree-walk env —
+		// and the resulting closure runs per row pair.
+		var onEval *exprEval
+		var onTest func() (sqlval.TriBool, error)
+		if j.on != nil {
+			onEval = e.newExprEval(rels[:i+1])
+			var err error
+			onTest, err = onEval.boolFn(j.on)
+			if err != nil {
+				return nil, err
+			}
+		}
 		next := make([][]*rowVals, 0, len(combos))
 		for _, combo := range combos {
 			matched := false
@@ -445,8 +459,8 @@ func (e *Engine) joinRows(n *sqlast.Select, rels []*relation, joins []joinInfo) 
 					// combo; a fresh slice is materialized only for kept
 					// rows.
 					scratch = append(append(scratch[:0], combo...), row)
-					env := &joinedEnv{rels: rels[:i+1], current: scratch}
-					tb, err := e.ev.EvalBool(j.on, env)
+					onEval.setRow(scratch)
+					tb, err := onTest()
 					if err != nil {
 						return nil, err
 					}
@@ -519,11 +533,17 @@ func (e *Engine) filterCombos(n *sqlast.Select, rels []*relation, combos [][]*ro
 			}
 		}
 	}
+	// The WHERE clause compiles once per statement; the per-combo cost is
+	// a slot-bound program run, not a tree walk with name resolution.
+	x := e.newExprEval(rels)
+	test, err := x.boolFn(n.Where)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]*rowVals, 0, len(combos))
-	env := &joinedEnv{rels: rels}
 	for _, combo := range combos {
-		env.current = combo
-		tb, err := e.ev.EvalBool(n.Where, env)
+		x.setRow(combo)
+		tb, err := test()
 		if err != nil {
 			return nil, err
 		}
@@ -625,9 +645,27 @@ func (e *Engine) project(n *sqlast.Select, rels []*relation, combos [][]*rowVals
 		return out
 	}
 
+	// Bind every projected expression once (aggregates are computed per
+	// group below and never through the scalar path).
+	x := e.newExprEval(rels)
+	colFns := make([]func() (sqlval.Value, error), len(cols))
+	for i, c := range cols {
+		if c.x == nil {
+			continue
+		}
+		if _, ok := isAggregate(c.x); ok {
+			continue
+		}
+		fn, err := x.valueFn(c.x)
+		if err != nil {
+			return nil, nil, err
+		}
+		colFns[i] = fn
+	}
+
 	evalRowInto := func(row []sqlval.Value, combo []*rowVals) error {
 		combo = hijack(combo)
-		env := &joinedEnv{rels: rels, current: combo}
+		x.setRow(combo)
 		for i, c := range cols {
 			if c.x == nil {
 				if combo[c.rel] == nil || c.col >= len(combo[c.rel].vals) {
@@ -637,7 +675,7 @@ func (e *Engine) project(n *sqlast.Select, rels []*relation, combos [][]*rowVals
 				}
 				continue
 			}
-			v, err := e.ev.Eval(c.x, env)
+			v, err := colFns[i]()
 			if err != nil {
 				return err
 			}
@@ -691,11 +729,19 @@ func (e *Engine) project(n *sqlast.Select, rels []*relation, combos [][]*rowVals
 		// Implicit single group over all rows (pure-aggregate query).
 		groups = []*group{{combos: combos}}
 	} else {
+		keyFns := make([]func() (sqlval.Value, error), len(groupKeys))
+		for i, gx := range groupKeys {
+			fn, err := x.valueFn(gx)
+			if err != nil {
+				return nil, nil, err
+			}
+			keyFns[i] = fn
+		}
 		for _, combo := range combos {
-			env := &joinedEnv{rels: rels, current: combo}
+			x.setRow(combo)
 			key := make([]sqlval.Value, len(groupKeys))
-			for i, gx := range groupKeys {
-				v, err := e.ev.Eval(gx, env)
+			for i := range keyFns {
+				v, err := keyFns[i]()
 				if err != nil {
 					return nil, nil, err
 				}
@@ -716,6 +762,14 @@ func (e *Engine) project(n *sqlast.Select, rels []*relation, combos [][]*rowVals
 		}
 	}
 
+	var havingTest func() (sqlval.TriBool, error)
+	if n.Having != nil {
+		var err error
+		havingTest, err = x.boolFn(n.Having)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 	var rows [][]sqlval.Value
 	for _, g := range groups {
 		rep := make([]*rowVals, len(rels)) // all-NULL row for empty groups
@@ -724,9 +778,9 @@ func (e *Engine) project(n *sqlast.Select, rels []*relation, combos [][]*rowVals
 		} else if len(groupKeys) > 0 {
 			continue // only the implicit aggregate group may be empty
 		}
-		env := &joinedEnv{rels: rels, current: rep}
-		if n.Having != nil {
-			tb, err := e.ev.EvalBool(n.Having, env)
+		if havingTest != nil {
+			x.setRow(rep)
+			tb, err := havingTest()
 			if err != nil {
 				return nil, nil, err
 			}
@@ -745,14 +799,17 @@ func (e *Engine) project(n *sqlast.Select, rels []*relation, combos [][]*rowVals
 				continue
 			}
 			if fc, ok := isAggregate(c.x); ok {
-				v, err := e.aggregate(fc, rels, g.combos)
+				v, err := e.aggregate(fc, x, g.combos)
 				if err != nil {
 					return nil, nil, err
 				}
 				row[i] = v
 				continue
 			}
-			v, err := e.ev.Eval(c.x, env)
+			// setRow per column: the aggregate above iterates the group's
+			// combos and leaves the evaluation state on the last one.
+			x.setRow(rep)
+			v, err := colFns[i]()
 			if err != nil {
 				return nil, nil, err
 			}
@@ -783,8 +840,11 @@ func keysEqual(a, b []sqlval.Value) bool {
 	return true
 }
 
-// aggregate computes one aggregate over a group.
-func (e *Engine) aggregate(fc *sqlast.FuncCall, rels []*relation, combos [][]*rowVals) (sqlval.Value, error) {
+// aggregate computes one aggregate over a group. The argument expression
+// binds through the statement's exprEval, so the compiled program is
+// shared across every group of the statement (the engine's program cache
+// keys by AST node).
+func (e *Engine) aggregate(fc *sqlast.FuncCall, x *exprEval, combos [][]*rowVals) (sqlval.Value, error) {
 	e.cov.hit("dql.aggregate." + strings.ToUpper(fc.Name))
 	up := strings.ToUpper(fc.Name)
 	if up == "COUNT" && len(fc.Args) == 0 {
@@ -793,10 +853,14 @@ func (e *Engine) aggregate(fc *sqlast.FuncCall, rels []*relation, combos [][]*ro
 	if len(fc.Args) != 1 {
 		return sqlval.Null(), xerr.New(xerr.CodeType, "aggregate %s expects one argument", fc.Name)
 	}
+	argFn, err := x.valueFn(fc.Args[0])
+	if err != nil {
+		return sqlval.Null(), err
+	}
 	var vals []sqlval.Value
 	for _, combo := range combos {
-		env := &joinedEnv{rels: rels, current: combo}
-		v, err := e.ev.Eval(fc.Args[0], env)
+		x.setRow(combo)
+		v, err := argFn()
 		if err != nil {
 			return sqlval.Null(), err
 		}
@@ -833,8 +897,6 @@ func (e *Engine) aggregate(fc *sqlast.FuncCall, rels []*relation, combos [][]*ro
 			if e.d == dialect.Postgres && !v.IsNumeric() {
 				return sqlval.Null(), xerr.New(xerr.CodeType, "%s(%s)", fc.Name, v.Kind())
 			}
-			n := e.ev
-			_ = n
 			var num sqlval.Value
 			switch v.Kind() {
 			case sqlval.KInt, sqlval.KUint, sqlval.KReal, sqlval.KBool:

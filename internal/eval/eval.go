@@ -38,6 +38,18 @@ type Env interface {
 	ColumnMeta(table, column string) (Meta, bool)
 }
 
+// ResolveErrEnv is an optional Env extension: an env that can explain a
+// failed column resolution (most importantly distinguishing an ambiguous
+// unqualified reference from a missing one) returns the diagnostic here.
+// The evaluator consults it before the generic "no such column" fallback,
+// so tree-walk lookups report the same distinct errors compiled programs
+// surface at bind time.
+type ResolveErrEnv interface {
+	// ColumnErr reports why (table, column) failed to resolve, or nil to
+	// fall through to the default missing-column handling.
+	ColumnErr(table, column string) error
+}
+
 // EmptyEnv is an Env with no columns (constant expressions).
 type EmptyEnv struct{}
 
@@ -70,10 +82,19 @@ func (ev *Evaluator) Eval(e sqlast.Expr, env Env) (sqlval.Value, error) {
 	case *sqlast.ColumnRef:
 		v, ok := env.ColumnValue(n.Table, n.Column)
 		if !ok {
+			// Ambiguity (and other env-specific diagnostics) outranks the
+			// MaybeString string demotion, matching SQLite: a double-quoted
+			// token matching two columns is an ambiguous identifier, not a
+			// string literal.
+			if re, hasErr := env.(ResolveErrEnv); hasErr {
+				if err := re.ColumnErr(n.Table, n.Column); err != nil {
+					return sqlval.Null(), err
+				}
+			}
 			if n.MaybeString && ev.D == dialect.SQLite {
 				return sqlval.Text(n.Column), nil
 			}
-			return sqlval.Null(), xerr.New(xerr.CodeNoObject, "no such column: %s", refName(n))
+			return sqlval.Null(), ErrNoSuchColumn(n.Table, n.Column)
 		}
 		return v, nil
 	case *sqlast.Collate:
@@ -99,13 +120,6 @@ func (ev *Evaluator) Eval(e sqlast.Expr, env Env) (sqlval.Value, error) {
 	default:
 		return sqlval.Null(), xerr.New(xerr.CodeUnsupported, "unsupported expression %T", e)
 	}
-}
-
-func refName(n *sqlast.ColumnRef) string {
-	if n.Table != "" {
-		return n.Table + "." + n.Column
-	}
-	return n.Column
 }
 
 // EvalBool computes e as a filter condition.

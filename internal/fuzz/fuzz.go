@@ -27,6 +27,9 @@ type Config struct {
 	// WireFidelity renders and reparses each generated statement instead
 	// of the ExecAST fast path, restoring the fuzzer's parser coverage.
 	WireFidelity bool
+	// NoCompile disables the engine's compiled expression programs
+	// (tree-walk evaluation; the -no-compile escape hatch).
+	NoCompile bool
 }
 
 // Fuzzer drives random statements at the engine and watches for crashes
@@ -59,6 +62,7 @@ func (f *Fuzzer) RunDatabase() (*core.Bug, error) {
 		Dialect:      f.cfg.Dialect,
 		Faults:       f.cfg.Faults,
 		WireFidelity: f.cfg.WireFidelity,
+		NoCompile:    f.cfg.NoCompile,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package sut_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -45,6 +46,74 @@ func TestFaultMatrixWireFidelity(t *testing.T) {
 	}
 	if total != 39 {
 		t.Errorf("fault registry has %d faults, matrix expects 39", total)
+	}
+}
+
+// TestFaultMatrixCompiledParity sweeps the same 39-fault matrix through
+// the ExecAST fast path twice — once with compiled expression programs
+// (the default since the compiled-eval tentpole) and once with the
+// -no-compile tree walk — proving detection parity: compilation changes
+// how predicates evaluate, never what they evaluate to, so every injected
+// fault keeps firing identically in both modes.
+func TestFaultMatrixCompiledParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault matrix sweep is not short")
+	}
+	for _, mode := range []struct {
+		name      string
+		noCompile bool
+	}{
+		{"compiled", false},
+		{"interpreted", true},
+	} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			for _, d := range dialect.All {
+				for _, info := range faults.ForDialect(d) {
+					info := info
+					d := d
+					t.Run(string(info.ID), func(t *testing.T) {
+						t.Parallel()
+						res := runner.Run(runner.Campaign{
+							Dialect:      d,
+							Fault:        info.ID,
+							MaxDatabases: 1500,
+							Workers:      2,
+							BaseSeed:     1,
+							Tester:       core.Config{NoCompile: mode.noCompile},
+						})
+						if !res.Detected {
+							t.Fatalf("fault %s not detected in %s mode within %d databases",
+								info.ID, mode.name, res.Databases)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledSoundness is the false-positive guard for the compiled
+// path: with no faults injected, the engine (running compiled programs)
+// and the independent interpreter oracle must agree on every pivot check,
+// so campaigns detect nothing.
+func TestCompiledSoundness(t *testing.T) {
+	for _, d := range dialect.All {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			tester := core.NewTester(core.Config{Dialect: d, Seed: 77, QueriesPerDB: 20})
+			for i := 0; i < 60; i++ {
+				bug, err := tester.RunDatabase()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bug != nil {
+					t.Fatalf("sound engine flagged: %s\ntrace:\n  %s",
+						bug.Message, strings.Join(bug.Trace, ";\n  "))
+				}
+			}
+		})
 	}
 }
 

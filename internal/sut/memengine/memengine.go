@@ -29,6 +29,9 @@ func (driverImpl) Open(s sut.Session) (sut.DB, error) {
 	if s.NoPlanner {
 		opts = append(opts, engine.WithoutPlanner())
 	}
+	if s.NoCompile {
+		opts = append(opts, engine.WithoutCompiledEval())
+	}
 	return Wrap(engine.Open(s.Dialect, opts...), s), nil
 }
 

@@ -51,6 +51,10 @@ type Session struct {
 	// NoPlanner forces full table scans (the scan-vs-index differential
 	// baseline; engine.WithoutPlanner).
 	NoPlanner bool
+	// NoCompile disables compiled expression programs: every clause
+	// evaluates through the tree-walk interpreter (the compiled-vs-
+	// interpreted differential baseline; engine.WithoutCompiledEval).
+	NoCompile bool
 	// WireFidelity makes ExecAST render the statement to SQL and reparse
 	// it before executing — today's string round trip, kept as an opt-in
 	// for parser coverage. The default is the direct-AST fast path where

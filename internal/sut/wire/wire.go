@@ -47,6 +47,9 @@ func (driverImpl) Open(s sut.Session) (sut.DB, error) {
 	if s.NoPlanner {
 		params = append(params, "planner=off")
 	}
+	if s.NoCompile {
+		params = append(params, "compile=off")
+	}
 	if len(params) > 0 {
 		dsn += "?" + strings.Join(params, "&")
 	}
