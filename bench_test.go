@@ -24,6 +24,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/fuzz"
+	"repro/internal/oracle"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sqlparse"
@@ -119,13 +120,15 @@ func BenchmarkTable2BugReports(b *testing.B) {
 	}
 }
 
-// BenchmarkTable3Oracles reproduces Table 3: which oracle found each bug.
+// BenchmarkTable3Oracles reproduces Table 3: which oracle found each bug —
+// extended with the metamorphic oracles (TLP/NoREC) that catch the
+// whole-result-set faults PQS's pivot tracking is blind to.
 func BenchmarkTable3Oracles(b *testing.B) {
 	data := corpus()
 	t := &report.Table{
 		Title:   "Table 3: detections per oracle (paper: 61 contains / 34 error / 4 segfault)",
-		Headers: []string{"DBMS", "Contains", "Error", "SEGFAULT"},
-		Note:    "Shape check: containment >> error > segfault, as in the paper.",
+		Headers: []string{"DBMS", "Contains", "Error", "SEGFAULT", "TLP", "NoREC"},
+		Note:    "Shape check: containment >> error > segfault, as in the paper; TLP/NoREC add the PQS-blind metamorphic faults.",
 	}
 	sums := map[faults.Oracle]int{}
 	for _, d := range dialect.All {
@@ -138,13 +141,17 @@ func BenchmarkTable3Oracles(b *testing.B) {
 		for o, n := range counts {
 			sums[o] += n
 		}
-		t.AddRow(d.DisplayName(), counts[faults.OracleContainment], counts[faults.OracleError], counts[faults.OracleCrash])
+		t.AddRow(d.DisplayName(), counts[faults.OracleContainment], counts[faults.OracleError], counts[faults.OracleCrash],
+			counts[faults.OracleTLP], counts[faults.OracleNoREC])
 	}
-	t.AddRow("Sum", sums[faults.OracleContainment], sums[faults.OracleError], sums[faults.OracleCrash])
+	t.AddRow("Sum", sums[faults.OracleContainment], sums[faults.OracleError], sums[faults.OracleCrash],
+		sums[faults.OracleTLP], sums[faults.OracleNoREC])
 	printExperiment("table3", t.Render())
 	b.ReportMetric(float64(sums[faults.OracleContainment]), "contains")
 	b.ReportMetric(float64(sums[faults.OracleError]), "error")
 	b.ReportMetric(float64(sums[faults.OracleCrash]), "segfault")
+	b.ReportMetric(float64(sums[faults.OracleTLP]), "tlp")
+	b.ReportMetric(float64(sums[faults.OracleNoREC]), "norec")
 	for i := 0; i < b.N; i++ {
 		_ = data
 	}
@@ -326,6 +333,43 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkOracleThroughput compares the testing oracles' campaign cost:
+// the same database-generation phase under PQS's pivot loop, TLP's
+// partition/aggregate checks, and NoREC's query pairs, per dialect. Both
+// dbs/s and stmts/s are reported so the metamorphic oracles' extra query
+// volume stays visible next to BenchmarkCampaignThroughput in the CI
+// -benchtime=1x smoke.
+func BenchmarkOracleThroughput(b *testing.B) {
+	for _, name := range []string{"pqs", "tlp", "norec"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for _, d := range dialect.All {
+				d := d
+				b.Run(d.String(), func(b *testing.B) {
+					tester := core.NewTester(core.Config{
+						Dialect:      d,
+						Oracle:       name,
+						Seed:         1,
+						QueriesPerDB: 20,
+					})
+					b.ResetTimer()
+					start := time.Now()
+					for i := 0; i < b.N; i++ {
+						if _, err := tester.RunDatabase(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					elapsed := time.Since(start).Seconds()
+					if elapsed > 0 {
+						b.ReportMetric(float64(b.N)/elapsed, "dbs/s")
+						b.ReportMetric(float64(tester.Stats().Statements)/elapsed, "stmts/s")
+					}
+				})
+			}
+		})
+	}
+}
+
 // BenchmarkBaselineComparison reproduces the paper's baseline argument:
 // fuzzers cannot find logic bugs; PQS finds them. Each approach gets the
 // same database budget on the logic-bug subset of the corpus.
@@ -340,9 +384,11 @@ func BenchmarkBaselineComparison(b *testing.B) {
 		} else {
 			otherTotal++
 		}
-		// PQS
+		// PQS family (each fault under the oracle its registry entry
+		// routes to — pqs, tlp, or norec).
 		res := runner.Run(runner.Campaign{
 			Dialect: info.Dialect, Fault: info.ID, MaxDatabases: budget, BaseSeed: 1,
+			Oracles: []string{oracle.ForFault(info)},
 		})
 		if res.Detected {
 			if info.Logic {
@@ -379,7 +425,7 @@ func BenchmarkBaselineComparison(b *testing.B) {
 		Note: fmt.Sprintf("Corpus: %d logic + %d error/crash faults. The fuzzer finds no logic bugs (§6: \"SQLsmith ... cannot find logic bugs found by our approach\").",
 			logicTotal, otherTotal),
 	}
-	t.AddRow("PQS (this work)", fmt.Sprintf("%d/%d", pqsLogic, logicTotal), fmt.Sprintf("%d/%d", pqsOther, otherTotal))
+	t.AddRow("PQS+TLP+NoREC (this work)", fmt.Sprintf("%d/%d", pqsLogic, logicTotal), fmt.Sprintf("%d/%d", pqsOther, otherTotal))
 	t.AddRow("Fuzzer baseline", fmt.Sprintf("%d/%d", fuzzLogic, logicTotal), fmt.Sprintf("%d/%d", fuzzOther, otherTotal))
 	printExperiment("baseline", t.Render())
 	b.ReportMetric(float64(pqsLogic), "pqs-logic")

@@ -6,11 +6,14 @@
 //	dbshell -dialect sqlite [-backend memengine|wire] [-fault sqlite.partial-index-not-null] [-no-compile]
 //
 // Statements end with ';'. Meta commands: .tables, .schema <t>,
-// .plan <select>, .timer [on|off], .backend, .quit. `EXPLAIN [QUERY PLAN]
-// <select>;` also works as a statement and reports the planner's chosen
-// access path per FROM source. `.timer on` prints per-statement wall time
-// — combined with -no-compile it A/B-tests compiled expression programs
-// against the tree-walk interpreter.
+// .plan <select>, .oracle <name>, .timer [on|off], .backend, .quit.
+// `EXPLAIN [QUERY PLAN] <select>;` also works as a statement and reports
+// the planner's chosen access path per FROM source. `.timer on` prints
+// per-statement wall time — combined with -no-compile it A/B-tests
+// compiled expression programs against the tree-walk interpreter.
+// `.oracle <name>` runs one-shot checks of a registered testing oracle
+// (pqs, tlp, norec) against the shell's current database — handy for
+// watching an injected fault (-fault) get caught interactively.
 package main
 
 import (
@@ -21,8 +24,13 @@ import (
 	"strings"
 	"time"
 
+	// The blank core import registers the "pqs" oracle (PQS's pivot
+	// machinery lives there; see internal/core/oracle_pqs.go).
+	_ "repro/internal/core"
 	"repro/internal/dialect"
 	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/oracle"
 	"repro/internal/sut"
 	_ "repro/internal/sut/memengine"
 	_ "repro/internal/sut/wire"
@@ -126,6 +134,8 @@ func meta(db sut.DB, backend, cmd string) bool {
 		for _, p := range paths {
 			fmt.Println(" ", p)
 		}
+	case strings.HasPrefix(cmd, ".oracle"):
+		runOracle(db, strings.TrimSpace(strings.TrimPrefix(cmd, ".oracle")))
 	case strings.HasPrefix(cmd, ".timer"):
 		switch arg := strings.TrimSpace(strings.TrimPrefix(cmd, ".timer")); arg {
 		case "on":
@@ -140,9 +150,49 @@ func meta(db sut.DB, backend, cmd string) bool {
 		}
 		fmt.Printf("timer %s\n", map[bool]string{true: "on", false: "off"}[timerOn])
 	default:
-		fmt.Println("meta commands: .tables, .schema <t>, .plan <select>, .timer [on|off], .backend, .quit")
+		fmt.Println("meta commands: .tables, .schema <t>, .plan <select>, .oracle <name>, .timer [on|off], .backend, .quit")
 	}
 	return true
+}
+
+// oracleChecks is how many checks one .oracle invocation runs: each check
+// draws a fresh random predicate, so a single iteration would usually
+// prove nothing either way.
+const oracleChecks = 25
+
+// runOracle runs one-shot oracle checks against the shell's current
+// database and prints the first detection, if any.
+func runOracle(db sut.DB, name string) {
+	if name == "" {
+		fmt.Println("usage: .oracle <name>; registered:", strings.Join(oracle.Names(), ", "))
+		return
+	}
+	o, err := oracle.New(name, oracle.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	d := db.Session().Dialect
+	env := &oracle.Env{Dialect: d, Rnd: gen.NewRand(d, time.Now().UnixNano())}
+	for i := 0; i < oracleChecks; i++ {
+		rep, err := o.Check(db, env)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if rep == nil {
+			continue
+		}
+		fmt.Printf("%s DETECTION (%s verdict) after %d checks: %s\n", name, rep.Oracle, i+1, rep.Message)
+		for _, sql := range rep.Trace {
+			fmt.Printf("  %s;\n", sql)
+		}
+		if rep.Compare != "" {
+			fmt.Printf("  -- compare against: %s;\n", rep.Compare)
+		}
+		return
+	}
+	fmt.Printf("%s: ok (%d checks passed)\n", name, oracleChecks)
 }
 
 // timerOn makes run print per-statement wall time (.timer toggle).

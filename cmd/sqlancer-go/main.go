@@ -5,17 +5,21 @@
 // Usage:
 //
 //	sqlancer-go -dialect sqlite -fault sqlite.partial-index-not-null -max-dbs 500
+//	sqlancer-go -dialect sqlite -oracle pqs,tlp,norec -fault sqlite.union-all-dedup
 //	sqlancer-go -dialect mysql -mode fuzz -max-dbs 200
 //	sqlancer-go -mode diff -dialect sqlite -right postgres
 //	sqlancer-go -backend wire -dialect sqlite -fault sqlite.partial-index-not-null
 //	sqlancer-go -list-faults
 //
-// -backend selects the SUT driver (memengine drives the engine in
-// process with the ExecAST fast path; wire goes through database/sql);
-// -wire-fidelity keeps the memengine backend but re-renders and reparses
-// every statement, for parser coverage. -no-compile disables compiled
-// expression programs so A/B runs can compare the tree-walk evaluator
-// (see DESIGN.md "Compiled expression programs").
+// -oracle selects the testing oracles of a pqs-mode campaign
+// (comma-separated: pqs, tlp, norec) — databases round-robin across them,
+// and the reproduction script records which oracle fired. -backend selects
+// the SUT driver (memengine drives the engine in process with the ExecAST
+// fast path; wire goes through database/sql); -wire-fidelity keeps the
+// memengine backend but re-renders and reparses every statement, for
+// parser coverage. -no-compile disables compiled expression programs so
+// A/B runs can compare the tree-walk evaluator (see DESIGN.md "Compiled
+// expression programs" and "Metamorphic oracles").
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"repro/internal/diffdb"
 	"repro/internal/faults"
 	"repro/internal/fuzz"
+	"repro/internal/oracle"
 	"repro/internal/runner"
 	"repro/internal/sut"
 	_ "repro/internal/sut/memengine"
@@ -48,6 +53,7 @@ func main() {
 		depth       = flag.Int("depth", 3, "max expression depth")
 		queries     = flag.Int("queries", 30, "pivot queries per database")
 		doReduce    = flag.Bool("reduce", true, "reduce detected test cases")
+		oracleFlag  = flag.String("oracle", "pqs", "comma-separated testing oracles to rotate across databases: pqs, tlp, norec")
 		backend     = flag.String("backend", sut.DefaultBackend, "SUT backend: memengine, wire")
 		wireFid     = flag.Bool("wire-fidelity", false, "render+reparse each statement instead of the AST fast path")
 		noCompile   = flag.Bool("no-compile", false, "disable compiled expression programs (tree-walk evaluation)")
@@ -70,7 +76,7 @@ func main() {
 
 	switch *mode {
 	case "pqs":
-		runPQS(d, *faultFlag, *backend, *wireFid, *noCompile, *maxDBs, *workers, *seed, *rows, *depth, *queries, *doReduce)
+		runPQS(d, *faultFlag, *backend, *wireFid, *noCompile, *maxDBs, *workers, *seed, *rows, *depth, *queries, *doReduce, parseOracles(*oracleFlag))
 	case "fuzz":
 		runFuzz(d, *faultFlag, *backend, *wireFid, *noCompile, *maxDBs, *seed, *queries)
 	case "diff":
@@ -110,7 +116,26 @@ func parseFault(name string) faults.Fault {
 	return f
 }
 
-func runPQS(d dialect.Dialect, faultName, backend string, wireFid, noCompile bool, maxDBs, workers int, seed int64, rows, depth, queries int, doReduce bool) {
+// parseOracles splits and validates the -oracle list against the registry.
+func parseOracles(list string) []string {
+	var out []string
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := oracle.New(name, oracle.Options{}); err != nil {
+			fatal(err)
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		out = []string{"pqs"}
+	}
+	return out
+}
+
+func runPQS(d dialect.Dialect, faultName, backend string, wireFid, noCompile bool, maxDBs, workers int, seed int64, rows, depth, queries int, doReduce bool, oracles []string) {
 	res := runner.Run(runner.Campaign{
 		Dialect:      d,
 		Fault:        parseFault(faultName),
@@ -118,6 +143,7 @@ func runPQS(d dialect.Dialect, faultName, backend string, wireFid, noCompile boo
 		Workers:      workers,
 		BaseSeed:     seed,
 		Reduce:       doReduce,
+		Oracles:      oracles,
 		Tester: core.Config{
 			MaxRows:      rows,
 			MaxExprDepth: depth,
@@ -127,16 +153,20 @@ func runPQS(d dialect.Dialect, faultName, backend string, wireFid, noCompile boo
 			NoCompile:    noCompile,
 		},
 	})
-	fmt.Printf("dialect=%s fault=%s databases=%d statements=%d queries=%d elapsed=%s\n",
-		d, faultName, res.Databases, res.Stats.Statements, res.Stats.Queries, res.Elapsed.Round(1000000))
+	fmt.Printf("dialect=%s fault=%s oracles=%s databases=%d statements=%d queries=%d elapsed=%s\n",
+		d, faultName, strings.Join(oracles, ","), res.Databases, res.Stats.Statements, res.Stats.Queries, res.Elapsed.Round(1000000))
 	if !res.Detected {
 		fmt.Println("no bug detected within budget")
 		return
 	}
-	fmt.Printf("BUG detected by %s oracle: %s\n", res.Bug.Oracle, res.Bug.Message)
+	fmt.Printf("BUG found by the %s oracle (%s verdict): %s\n", res.Bug.DetectedBy, res.Bug.Oracle, res.Bug.Message)
 	fmt.Printf("reduced test case (%d statements):\n", len(res.Reduced))
+	fmt.Printf("  -- oracle: %s (%s)\n", res.Bug.DetectedBy, res.Bug.Oracle)
 	for _, sql := range res.Reduced {
 		fmt.Printf("  %s;\n", sql)
+	}
+	if res.Bug.Compare != "" {
+		fmt.Printf("  -- compare against: %s;\n", res.Bug.Compare)
 	}
 }
 

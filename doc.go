@@ -6,6 +6,16 @@
 // campaign runner) and two baselines (a SQLsmith-style fuzzer and a
 // RAGS-style differential tester).
 //
+// Testing oracles are pluggable (internal/oracle): beside PQS's pivot
+// containment, the NoREC and TLP metamorphic oracles from the same
+// research lineage validate whole result sets — NoREC compares an
+// optimized WHERE against the unoptimized predicate projection, TLP
+// recombines the p / NOT p / p IS NULL partitions with UNION ALL — and
+// catch result-set and aggregate faults PQS is structurally blind to.
+// Campaigns select oracles with `sqlancer-go -oracle=pqs,tlp,norec`
+// (round-robin across databases); dbshell's `.oracle <name>` runs
+// one-shot checks. See DESIGN.md "Metamorphic oracles".
+//
 // The tester stack talks to the database under test only through the
 // backend-agnostic SUT boundary (internal/sut): open a database with
 //

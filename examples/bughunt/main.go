@@ -1,7 +1,8 @@
-// Bughunt: run PQS campaigns over the full injected-fault corpus in every
-// dialect, printing a live Table 2/3-style summary. This is the example
-// analogue of the paper's three-month testing campaign, compressed into a
-// deterministic sweep with known ground truth.
+// Bughunt: run campaigns over the full injected-fault corpus in every
+// dialect — each fault under the testing oracle its registry entry routes
+// to (PQS, TLP, or NoREC) — printing a live Table 2/3-style summary. This
+// is the example analogue of the paper's three-month testing campaign,
+// compressed into a deterministic sweep with known ground truth.
 package main
 
 import (
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/dialect"
 	"repro/internal/faults"
+	"repro/internal/oracle"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
@@ -32,12 +34,13 @@ func main() {
 				MaxDatabases: *budget,
 				BaseSeed:     1,
 				Reduce:       true,
+				Oracles:      []string{oracle.ForFault(info)},
 			})
 			if res.Detected {
 				detected[d]++
 				perOracle[d][res.Bug.Oracle]++
-				fmt.Printf("  %-40s found by %-9s after %4d dbs, reduced to %d stmts\n",
-					info.ID, res.Bug.Oracle, res.Databases, len(res.Reduced))
+				fmt.Printf("  %-40s found by %-6s (%s verdict) after %4d dbs, reduced to %d stmts\n",
+					info.ID, res.Bug.DetectedBy, res.Bug.Oracle, res.Databases, len(res.Reduced))
 			} else {
 				missed[d]++
 				fmt.Printf("  %-40s MISSED in %d dbs\n", info.ID, res.Databases)
@@ -51,13 +54,14 @@ func main() {
 	}
 	t3 := &report.Table{
 		Title:   "Detections per oracle (Table 3 analogue)",
-		Headers: []string{"DBMS", "Contains", "Error", "SEGFAULT"},
+		Headers: []string{"DBMS", "Contains", "Error", "SEGFAULT", "TLP", "NoREC"},
 	}
 	for _, d := range dialect.All {
 		total := len(faults.ForDialect(d))
 		t2.AddRow(d.DisplayName(), total, detected[d], missed[d])
 		t3.AddRow(d.DisplayName(), perOracle[d][faults.OracleContainment],
-			perOracle[d][faults.OracleError], perOracle[d][faults.OracleCrash])
+			perOracle[d][faults.OracleError], perOracle[d][faults.OracleCrash],
+			perOracle[d][faults.OracleTLP], perOracle[d][faults.OracleNoREC])
 	}
 	fmt.Println()
 	fmt.Println(t2.Render())

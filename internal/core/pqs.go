@@ -39,6 +39,12 @@ type Config struct {
 	// Backend names the sut driver databases are opened on ("" selects
 	// sut.DefaultBackend, the in-process engine).
 	Backend string
+	// Oracle selects the testing oracle for the query phase of each
+	// database lifecycle: "" or "pqs" runs the native pivot loop (Figure
+	// 1); any other name resolves through the internal/oracle registry
+	// ("tlp", "norec"). The database-generation phase and its error/crash
+	// oracle are shared by every choice.
+	Oracle string
 	// WireFidelity switches the campaign hot loop from the ExecAST fast
 	// path back to the full render→reparse string round trip, for parser
 	// coverage (measurably slower; BenchmarkCampaignThroughput tracks the
@@ -97,24 +103,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Bug is one oracle detection.
-type Bug struct {
-	Oracle  faults.Oracle
-	Message string
-	// Code is the engine error code for error/crash detections.
-	Code xerr.Code
-	// Trace is the SQL statement sequence reproducing the bug; the final
-	// statement is the failing query (containment) or erroring statement.
-	Trace []string
-	// Expected is the pivot tuple the containment oracle missed (nil for
-	// error/crash detections).
-	Expected []sqlval.Value
-	// PivotTables maps table → pivot row for reduction-time validation.
-	PivotTables map[string][]sqlval.Value
-	// Negative marks a §7 anticontainment detection: the pivot row was
-	// present despite a FALSE condition (reduction then checks presence).
-	Negative bool
-}
+// Bug is one oracle detection. The canonical type is oracle.Report (so
+// metamorphic oracles construct detections without importing the PQS
+// loop); the alias keeps the historical core.Bug name for the runner,
+// reducer, fuzzer, and CLIs.
+type Bug = oracle.Report
 
 // Stats counts tester work (the throughput experiment).
 type Stats struct {
@@ -146,6 +139,12 @@ type Tester struct {
 	rnd   *gen.Rand
 	stats *Stats
 
+	// meta is the resolved registry oracle when cfg.Oracle names a
+	// metamorphic oracle; nil for the native PQS loop. metaErr records a
+	// resolution failure and surfaces on the first RunDatabase.
+	meta    oracle.Oracle
+	metaErr error
+
 	// colsBuf/hintsBuf are bindPivot scratch reused across the pivot
 	// iterations of a lifecycle (a Tester is single-threaded; nothing
 	// retains these past one iteration).
@@ -163,11 +162,23 @@ type Tester struct {
 // NewTester creates a tester.
 func NewTester(cfg Config) *Tester {
 	cfg = cfg.withDefaults()
-	return &Tester{
+	t := &Tester{
 		cfg:   cfg,
 		rnd:   gen.NewRand(cfg.Dialect, cfg.Seed),
 		stats: newStats(),
 	}
+	if name := cfg.Oracle; name != "" && name != "pqs" {
+		t.meta, t.metaErr = oracle.New(name, oracle.Options{MaxExprDepth: cfg.MaxExprDepth})
+	}
+	return t
+}
+
+// oracleName reports the testing oracle this tester runs.
+func (t *Tester) oracleName() string {
+	if t.cfg.Oracle == "" {
+		return "pqs"
+	}
+	return t.cfg.Oracle
 }
 
 // Stats exposes accumulated counters.
@@ -230,6 +241,9 @@ func (t *Tester) RunDatabase() (*Bug, error) {
 
 // runOn runs one lifecycle against a specific database under test.
 func (t *Tester) runOn(db sut.DB) (*Bug, error) {
+	if t.metaErr != nil {
+		return nil, t.metaErr
+	}
 	t.stats.Databases++
 	tr := &trace{d: t.cfg.Dialect}
 
@@ -241,10 +255,11 @@ func (t *Tester) runOn(db sut.DB) (*Bug, error) {
 		case oracle.VerdictBug, oracle.VerdictCrash:
 			code, _ := xerr.CodeOf(err)
 			return &bugSignal{bug: &Bug{
-				Oracle:  oracle.OracleFor(v),
-				Message: err.Error(),
-				Code:    code,
-				Trace:   tr.render(),
+				Oracle:     oracle.OracleFor(v),
+				DetectedBy: t.oracleName(),
+				Message:    err.Error(),
+				Code:       code,
+				Trace:      tr.render(),
 			}}
 		case oracle.VerdictArtifact:
 			t.stats.Artifacts++
@@ -266,6 +281,32 @@ func (t *Tester) runOn(db sut.DB) (*Bug, error) {
 		return nil, err
 	}
 
+	// Metamorphic oracles take over the query phase: the database and the
+	// build-time error oracle above are shared, only the check differs.
+	if t.meta != nil {
+		env := &oracle.Env{
+			Dialect:      t.cfg.Dialect,
+			Rnd:          t.rnd,
+			Hints:        sg.Hints,
+			MaxExprDepth: t.cfg.MaxExprDepth,
+			Setup:        tr.render,
+			RecordStmt: func() {
+				t.stats.Statements++
+				t.stats.Queries++
+			},
+		}
+		for q := 0; q < t.cfg.QueriesPerDB; q++ {
+			rep, err := t.meta.Check(db, env)
+			if err != nil {
+				return nil, err
+			}
+			if rep != nil {
+				return rep, nil
+			}
+		}
+		return nil, nil
+	}
+
 	// Snapshot the pivot sources once per lifecycle: the pivot loop below
 	// executes only SELECTs, so schema and stored rows are constant and
 	// re-introspecting (copying every row) on each of the QueriesPerDB
@@ -282,6 +323,20 @@ func (t *Tester) runOn(db sut.DB) (*Bug, error) {
 		}
 	}
 	return nil, nil
+}
+
+// CheckPivot runs one PQS pivot iteration (steps 2–7 of Figure 1) against
+// an already-built database, without generating state first — the
+// one-shot form behind the registered "pqs" oracle and dbshell's .oracle
+// meta command.
+func (t *Tester) CheckPivot(db sut.DB) (*Bug, error) {
+	snap := snapshotPivotSources(db.Introspect())
+	if len(snap) == 0 {
+		return nil, nil
+	}
+	sg := &gen.StateGen{Rnd: t.rnd, E: db.Introspect()}
+	tr := &trace{d: t.cfg.Dialect}
+	return t.pivotIteration(db, snap, sg, tr)
 }
 
 // pivotSource is one table's cached introspection for a database
@@ -374,10 +429,11 @@ func (t *Tester) pivotIteration(db sut.DB, snap []pivotSource, sg *gen.StateGen,
 		case oracle.VerdictBug, oracle.VerdictCrash:
 			code, _ := xerr.CodeOf(execErr)
 			return &Bug{
-				Oracle:  oracle.OracleFor(v),
-				Message: execErr.Error(),
-				Code:    code,
-				Trace:   tr.render(),
+				Oracle:     oracle.OracleFor(v),
+				DetectedBy: "pqs",
+				Message:    execErr.Error(),
+				Code:       code,
+				Trace:      tr.render(),
 			}, nil
 		default:
 			// Expected runtime error (strict typing): drop this query
@@ -399,6 +455,7 @@ func (t *Tester) pivotIteration(db sut.DB, snap []pivotSource, sg *gen.StateGen,
 		}
 		return &Bug{
 			Oracle:      faults.OracleContainment,
+			DetectedBy:  "pqs",
 			Message:     fmt.Sprintf("pivot row %s not contained in result set (%d rows)", tupleString(expected), len(res.Rows)),
 			Trace:       tr.render(),
 			Expected:    expected,
@@ -463,10 +520,11 @@ func (t *Tester) negativeIteration(db sut.DB, pivots []pivotRow, ctx *interp.Con
 		case oracle.VerdictBug, oracle.VerdictCrash:
 			code, _ := xerr.CodeOf(execErr)
 			return &Bug{
-				Oracle:  oracle.OracleFor(v),
-				Message: execErr.Error(),
-				Code:    code,
-				Trace:   tr.render(),
+				Oracle:     oracle.OracleFor(v),
+				DetectedBy: "pqs",
+				Message:    execErr.Error(),
+				Code:       code,
+				Trace:      tr.render(),
 			}, nil
 		default:
 			tr.pop()
@@ -481,6 +539,7 @@ func (t *Tester) negativeIteration(db sut.DB, pivots []pivotRow, ctx *interp.Con
 		}
 		return &Bug{
 			Oracle:      faults.OracleContainment,
+			DetectedBy:  "pqs",
 			Message:     fmt.Sprintf("pivot row %s contained despite FALSE condition (%d rows)", tupleString(expected), len(res.Rows)),
 			Trace:       tr.render(),
 			Expected:    expected,

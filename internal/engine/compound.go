@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"repro/internal/dialect"
+	"repro/internal/faults"
 	"repro/internal/sqlast"
 	"repro/internal/sqlval"
 	"repro/internal/xerr"
@@ -14,12 +16,34 @@ func (e *Engine) execCompound(n *sqlast.Compound) (*Result, error) {
 	if len(n.Selects) < 2 || len(n.Ops) != len(n.Selects)-1 {
 		return nil, xerr.New(xerr.CodeSyntax, "malformed compound select")
 	}
-	acc, err := e.execSelect(n.Selects[0])
+	hasUnionAll := false
+	for _, op := range n.Ops {
+		if op == sqlast.OpUnionAll {
+			hasUnionAll = true
+		}
+	}
+	// arm evaluates one compound arm. Fault site
+	// (sqlite.null-partition-drop): inside a UNION ALL chain, an arm whose
+	// WHERE root is an IS NULL test contributes no rows — the shape of
+	// TLP's third partition, which no pivot query ever takes.
+	arm := func(sel *sqlast.Select) (*Result, error) {
+		res, err := e.execSelect(sel)
+		if err != nil {
+			return nil, err
+		}
+		if hasUnionAll && e.d == dialect.SQLite && e.fs.Has(faults.NullPartitionDrop) {
+			if u, ok := sel.Where.(*sqlast.Unary); ok && u.Op == sqlast.OpIsNull {
+				res = &Result{Columns: res.Columns}
+			}
+		}
+		return res, nil
+	}
+	acc, err := arm(n.Selects[0])
 	if err != nil {
 		return nil, err
 	}
 	for i, sel := range n.Selects[1:] {
-		right, err := e.execSelect(sel)
+		right, err := arm(sel)
 		if err != nil {
 			return nil, err
 		}
@@ -30,7 +54,13 @@ func (e *Engine) execCompound(n *sqlast.Compound) (*Result, error) {
 		}
 		switch n.Ops[i] {
 		case sqlast.OpUnionAll:
-			acc = &Result{Columns: acc.Columns, Rows: append(acc.Rows, right.Rows...)}
+			rows := append(acc.Rows, right.Rows...)
+			// Fault site (sqlite.union-all-dedup): UNION ALL deduplicates
+			// its concatenation the way UNION does.
+			if e.d == dialect.SQLite && e.fs.Has(faults.UnionAllDedup) {
+				rows = setDedup(rows)
+			}
+			acc = &Result{Columns: acc.Columns, Rows: rows}
 		case sqlast.OpUnion:
 			acc = &Result{Columns: acc.Columns, Rows: setDedup(append(acc.Rows, right.Rows...))}
 		case sqlast.OpIntersect:

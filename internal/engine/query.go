@@ -63,6 +63,20 @@ func (e *Engine) execSelect(n *sqlast.Select) (*Result, error) {
 		return nil, err
 	}
 
+	// Fault site (sqlite.norec-count-mismatch): a star-projection SELECT
+	// with a WHERE clause drops its first matching row — the optimized
+	// query shape NoREC compares, and one PQS never generates (pivot
+	// queries always name their result columns).
+	if e.d == dialect.SQLite && e.fs.Has(faults.NorecCountMismatch) &&
+		n.Where != nil && len(combos) > 0 {
+		for _, rc := range n.Cols {
+			if rc.Star {
+				combos = combos[1:]
+				break
+			}
+		}
+	}
+
 	// GROUP BY / aggregates.
 	outCols, outRows, err := e.project(n, rels, combos)
 	if err != nil {
@@ -847,6 +861,19 @@ func keysEqual(a, b []sqlval.Value) bool {
 func (e *Engine) aggregate(fc *sqlast.FuncCall, x *exprEval, combos [][]*rowVals) (sqlval.Value, error) {
 	e.cov.hit("dql.aggregate." + strings.ToUpper(fc.Name))
 	up := strings.ToUpper(fc.Name)
+	// Fault site (sqlite.agg-empty-group): an aggregate whose filtered
+	// input is empty materializes a phantom row — COUNT reports 1,
+	// SUM/MIN/MAX report 0 instead of NULL. PQS never aggregates; TLP's
+	// partition aggregates hit empty inputs constantly (the `p IS NULL`
+	// partition is usually empty).
+	if e.d == dialect.SQLite && e.fs.Has(faults.AggEmptyGroup) && len(combos) == 0 {
+		switch up {
+		case "COUNT":
+			return sqlval.Int(1), nil
+		case "SUM", "MIN", "MAX":
+			return sqlval.Int(0), nil
+		}
+	}
 	if up == "COUNT" && len(fc.Args) == 0 {
 		return sqlval.Int(int64(len(combos))), nil
 	}

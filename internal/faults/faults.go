@@ -25,6 +25,12 @@ const (
 	OracleContainment Oracle = "contains"
 	OracleError       Oracle = "error"
 	OracleCrash       Oracle = "segfault"
+	// OracleNoREC and OracleTLP mark faults only the metamorphic oracles
+	// (the NoREC/TLP follow-on work in the same research lineage) can
+	// observe: whole-result-set deviations PQS's single tracked pivot row
+	// is structurally blind to.
+	OracleNoREC Oracle = "norec"
+	OracleTLP   Oracle = "tlp"
 )
 
 // Class groups faults the way Section 4 of the paper groups bugs.
@@ -117,6 +123,26 @@ const (
 	// lookup misses collation-equal key variants (§4.4 class: wrong index
 	// chosen for the comparison collation).
 	PlannerCollationConfusion Fault = "sqlite.planner-collation-confusion"
+
+	// Metamorphic-only faults: each is gated on a query shape PQS never
+	// generates (UNION ALL compounds, aggregates, star projections), so
+	// the pivot-containment oracle is structurally blind to all four.
+
+	// NullPartitionDrop: inside a UNION ALL chain, an arm whose WHERE root
+	// is an IS NULL test contributes no rows — TLP's third partition (`p
+	// IS NULL`) silently vanishes from the recombination.
+	NullPartitionDrop Fault = "sqlite.null-partition-drop"
+	// UnionAllDedup: UNION ALL deduplicates its concatenation the way
+	// UNION does, dropping duplicate rows that must be preserved.
+	UnionAllDedup Fault = "sqlite.union-all-dedup"
+	// AggEmptyGroup: an aggregate whose filtered input is empty
+	// materializes a phantom row — COUNT reports 1, SUM/MIN/MAX report 0
+	// instead of NULL.
+	AggEmptyGroup Fault = "sqlite.agg-empty-group"
+	// NorecCountMismatch: a star-projection SELECT with a WHERE clause
+	// drops its first matching row — exactly the optimized-query shape
+	// NoREC compares against the unoptimized predicate projection.
+	NorecCountMismatch Fault = "sqlite.norec-count-mismatch"
 )
 
 // MySQL-dialect faults.
@@ -232,6 +258,10 @@ func init() {
 		{RangeScanBoundary, sq, ClassIndex, OracleContainment, true, "§4.4 class", "index range scan drops rows on inclusive boundaries"},
 		{StaleIndexAfterUpdate, sq, ClassIndex, OracleContainment, true, "§4.4 class", "UPDATE leaves index entries stale; index paths miss updated rows"},
 		{PlannerCollationConfusion, sq, ClassIndex, OracleContainment, true, "§4.4 class", "planner uses an index whose collation mismatches the comparison"},
+		{NullPartitionDrop, sq, ClassOptimization, OracleTLP, true, "NoREC/TLP class", "UNION ALL arm whose WHERE root is IS NULL returns no rows"},
+		{UnionAllDedup, sq, ClassSemantics, OracleTLP, true, "NoREC/TLP class", "UNION ALL deduplicates its concatenation like UNION"},
+		{AggEmptyGroup, sq, ClassSemantics, OracleTLP, true, "NoREC/TLP class", "aggregate over an empty filtered input returns a phantom value"},
+		{NorecCountMismatch, sq, ClassOptimization, OracleNoREC, true, "NoREC/TLP class", "star-projection SELECT with WHERE drops its first matching row"},
 
 		{MemoryEngineCast, my, ClassTyping, OracleContainment, true, "Listing 11", "MEMORY engine evaluates CAST AS UNSIGNED comparisons wrong"},
 		{UnsignedCompare, my, ClassTyping, OracleContainment, true, "§4.5", "UNSIGNED column vs negative constant coerces the constant"},

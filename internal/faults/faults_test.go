@@ -9,18 +9,25 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 39 {
-		t.Fatalf("registry has %d faults, want 39", len(all))
+	if len(all) != 43 {
+		t.Fatalf("registry has %d faults, want 43", len(all))
+	}
+	valid := map[Oracle]bool{
+		OracleContainment: true, OracleError: true, OracleCrash: true,
+		OracleNoREC: true, OracleTLP: true,
 	}
 	for _, i := range all {
 		if i.ID == "" || i.Desc == "" || i.Paper == "" {
 			t.Errorf("fault %q missing metadata: %+v", i.ID, i)
 		}
-		if i.Oracle != OracleContainment && i.Oracle != OracleError && i.Oracle != OracleCrash {
+		if !valid[i.Oracle] {
 			t.Errorf("fault %q has unknown oracle %q", i.ID, i.Oracle)
 		}
-		// Logic bugs must be containment-oracle bugs and vice versa.
-		if i.Logic != (i.Oracle == OracleContainment) {
+		// Logic bugs (wrong result sets) are exactly the ones result-set
+		// oracles catch: containment for pivot drops, NoREC/TLP for
+		// whole-result-set deviations. Error/crash faults are not logic.
+		logicOracle := i.Oracle == OracleContainment || i.Oracle == OracleNoREC || i.Oracle == OracleTLP
+		if i.Logic != logicOracle {
 			t.Errorf("fault %q: Logic=%v inconsistent with oracle %q", i.ID, i.Logic, i.Oracle)
 		}
 		if !strings.Contains(string(i.ID), ".") {

@@ -82,10 +82,11 @@ func (f *Fuzzer) RunDatabase() (*core.Bug, error) {
 		case oracle.VerdictBug, oracle.VerdictCrash:
 			code, _ := xerr.CodeOf(err)
 			return &fuzzSignal{bug: &core.Bug{
-				Oracle:  oracle.OracleFor(v),
-				Message: err.Error(),
-				Code:    code,
-				Trace:   renderTrace(),
+				Oracle:     oracle.OracleFor(v),
+				DetectedBy: "fuzz",
+				Message:    err.Error(),
+				Code:       code,
+				Trace:      renderTrace(),
 			}}
 		case oracle.VerdictArtifact:
 			f.stats.Artifacts++
@@ -126,14 +127,14 @@ type fuzzSignal struct{ bug *core.Bug }
 // Error implements the error interface.
 func (s *fuzzSignal) Error() string { return "fuzz detection: " + s.bug.Message }
 
-func (f *Fuzzer) randomQuery(intro sut.Introspection, sg *gen.StateGen) *sqlast.Select {
+func (f *Fuzzer) randomQuery(intro sut.Introspection, sg *gen.StateGen) sqlast.Stmt {
 	tables := intro.Tables()
 	if len(tables) == 0 {
 		return nil
 	}
 	table := tables[f.rnd.Intn(len(tables))]
 	info, err := intro.Describe(table)
-	if err != nil {
+	if err != nil || len(info.Columns) == 0 {
 		return nil
 	}
 	var cols []gen.ColumnPick
@@ -141,6 +142,11 @@ func (f *Fuzzer) randomQuery(intro sut.Introspection, sg *gen.StateGen) *sqlast.
 		cols = append(cols, gen.ColumnPick{Table: table, Column: c})
 	}
 	eg := &gen.ExprGen{Rnd: f.rnd, Cols: cols, Hints: sg.Hints, MaxDepth: 3}
+	// Occasionally issue a compound SELECT: fuzzing covers UNION [ALL]
+	// execution the same way the TLP oracle's recombination does.
+	if f.rnd.Bool(0.15) {
+		return gen.CompoundSelect(f.rnd, eg, table, info)
+	}
 	sel := &sqlast.Select{
 		Cols:     []sqlast.ResultCol{{Star: true}},
 		From:     []sqlast.TableRef{{Name: table}},

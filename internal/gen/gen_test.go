@@ -6,7 +6,6 @@ import (
 	"repro/internal/dialect"
 	"repro/internal/engine"
 	"repro/internal/interp"
-	"repro/internal/oracle"
 	"repro/internal/schema"
 	"repro/internal/sqlast"
 	"repro/internal/sqlval"
@@ -104,35 +103,6 @@ func TestCategoryOfType(t *testing.T) {
 	for tn, want := range cases {
 		if got := CategoryOfType(tn); got != want {
 			t.Errorf("CategoryOfType(%q) = %v, want %v", tn, got, want)
-		}
-	}
-}
-
-// The state generator's statements must overwhelmingly be executable: no
-// syntax errors, almost no artifacts (missing objects etc.).
-func TestStateGenProducesValidSQL(t *testing.T) {
-	for _, d := range dialect.All {
-		total, artifacts := 0, 0
-		for seed := int64(0); seed < 30; seed++ {
-			e := engine.Open(d)
-			sg := &StateGen{Rnd: NewRand(d, seed), E: e}
-			err := sg.BuildDatabase(func(st sqlast.Stmt) error {
-				total++
-				_, execErr := e.Exec(sqlast.SQL(st, d))
-				switch oracle.Classify(st, execErr, d) {
-				case oracle.VerdictArtifact:
-					artifacts++
-				case oracle.VerdictBug, oracle.VerdictCrash:
-					t.Fatalf("[%s] clean engine flagged a bug on %s: %v", d, sqlast.SQL(st, d), execErr)
-				}
-				return nil
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-		}
-		if artifacts*20 > total {
-			t.Errorf("[%s] %d/%d statements were generator artifacts (>5%%)", d, artifacts, total)
 		}
 	}
 }

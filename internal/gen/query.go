@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// ColumnSubset draws a random non-empty projection list. Narrow
+// projections collide distinct rows onto equal tuples — exactly where
+// duplicate-handling bugs (UNION ALL vs UNION, DISTINCT) live — so both
+// the compound generator and the TLP oracle sample with it.
+func ColumnSubset(rnd *Rand, info schema.TableInfo) []string {
+	var out []string
+	for _, c := range info.Columns {
+		if rnd.Bool(0.6) {
+			out = append(out, c.Name)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{info.Columns[rnd.Intn(len(info.Columns))].Name}
+	}
+	return out
+}
+
+// CompoundSelect generates a small compound SELECT over one table —
+// mostly UNION ALL chains (the recombination shape TLP checks),
+// occasionally UNION — so compound execution is exercised by
+// generation-driven consumers like the fuzzer baseline, not only consumed
+// by the TLP oracle. Every arm projects the same column list, keeping the
+// compound well-formed by construction.
+func CompoundSelect(rnd *Rand, eg *ExprGen, table string, info schema.TableInfo) *sqlast.Compound {
+	star := rnd.Bool(0.3)
+	var cols []string
+	if !star {
+		cols = ColumnSubset(rnd, info)
+	}
+	nArms := 2 + rnd.Intn(2)
+	comp := &sqlast.Compound{}
+	for i := 0; i < nArms; i++ {
+		sel := &sqlast.Select{From: []sqlast.TableRef{{Name: table}}}
+		if star {
+			sel.Cols = []sqlast.ResultCol{{Star: true}}
+		} else {
+			for _, c := range cols {
+				sel.Cols = append(sel.Cols, sqlast.ResultCol{X: sqlast.Col(table, c)})
+			}
+		}
+		if rnd.Bool(0.8) {
+			sel.Where = eg.Generate()
+		}
+		comp.Selects = append(comp.Selects, sel)
+		if i > 0 {
+			op := sqlast.OpUnionAll
+			if rnd.Bool(0.2) {
+				op = sqlast.OpUnion
+			}
+			comp.Ops = append(comp.Ops, op)
+		}
+	}
+	return comp
+}

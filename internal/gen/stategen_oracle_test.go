@@ -1,0 +1,46 @@
+// This test lives in the external gen_test package so it can keep using
+// oracle.Classify as its error triage: the oracle package imports gen (the
+// metamorphic oracles drive the expression generator), so an in-package
+// test importing oracle would cycle, but an external test package may.
+package gen_test
+
+import (
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+	"repro/internal/sqlast"
+)
+
+// The state generator's statements must overwhelmingly be executable: no
+// syntax errors, almost no artifacts (missing objects etc.), and — per the
+// full statement-aware whitelist in oracle.Classify — nothing the error or
+// crash oracle would flag on a clean engine.
+func TestStateGenProducesValidSQL(t *testing.T) {
+	for _, d := range dialect.All {
+		total, artifacts := 0, 0
+		for seed := int64(0); seed < 30; seed++ {
+			e := engine.Open(d)
+			sg := &gen.StateGen{Rnd: gen.NewRand(d, seed), E: e}
+			err := sg.BuildDatabase(func(st sqlast.Stmt) error {
+				total++
+				_, execErr := e.Exec(sqlast.SQL(st, d))
+				switch oracle.Classify(st, execErr, d) {
+				case oracle.VerdictArtifact:
+					artifacts++
+				case oracle.VerdictBug, oracle.VerdictCrash:
+					t.Fatalf("[%s] clean engine flagged a bug on %s: %v", d, sqlast.SQL(st, d), execErr)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if artifacts*20 > total {
+			t.Errorf("[%s] %d/%d statements were generator artifacts (>5%%)", d, artifacts, total)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package oracle
+
+import (
+	"repro/internal/faults"
+	"repro/internal/sqlval"
+	"repro/internal/xerr"
+)
+
+// Report is one oracle detection — the shape every testing oracle (PQS,
+// NoREC, TLP, the fuzzer baseline) produces and the whole downstream stack
+// (runner, reduce, CLIs) consumes. It lives here rather than in the core
+// tester so metamorphic oracles can construct reports without depending on
+// the PQS loop; internal/core aliases it as core.Bug for its historical
+// callers.
+type Report struct {
+	// Oracle is the verdict category in the paper's Table 3 sense
+	// (contains/error/segfault), extended with the metamorphic categories
+	// (norec/tlp) for whole-result-set detections.
+	Oracle  faults.Oracle
+	Message string
+	// Code is the engine error code for error/crash detections.
+	Code xerr.Code
+	// Trace is the SQL statement sequence reproducing the bug; the final
+	// statement is the failing query (containment), erroring statement, or
+	// — for metamorphic detections — the partitioned/optimized query.
+	Trace []string
+	// Expected is the pivot tuple the containment oracle missed (nil for
+	// error/crash/metamorphic detections).
+	Expected []sqlval.Value
+	// PivotTables maps table → pivot row for reduction-time validation.
+	PivotTables map[string][]sqlval.Value
+	// Negative marks a §7 anticontainment detection: the pivot row was
+	// present despite a FALSE condition (reduction then checks presence).
+	Negative bool
+
+	// DetectedBy names the testing oracle whose check produced this report
+	// ("pqs", "tlp", "norec", "fuzz") — recorded so reproduction scripts
+	// say which oracle fired.
+	DetectedBy string
+	// Compare is the metamorphic partner query of the final trace
+	// statement: NoREC's unoptimized predicate projection, or TLP's
+	// unpartitioned original. Reduction replays both sides and re-applies
+	// the comparison. Empty for PQS/fuzzer detections.
+	Compare string
+	// Agg names the aggregate of a TLP aggregate-variant detection
+	// ("COUNT", "SUM", "MAX"); empty means the row-multiset comparison.
+	Agg string
+}

@@ -1,0 +1,281 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/sqlval"
+	"repro/internal/sut"
+)
+
+func init() {
+	Register("tlp", func(o Options) Oracle { return &tlp{opts: o} })
+}
+
+// tlp implements Ternary Logic Partitioning: a random predicate p splits a
+// query into the three partitions that exhaust SQL's three-valued logic —
+// p, NOT p, and p IS NULL — and the partitions recombined with UNION ALL
+// must reproduce the unpartitioned query exactly.
+//
+// Two variants run, chosen per check:
+//
+//   - WHERE: SELECT cols FROM t must equal, as a multiset,
+//     SELECT cols WHERE p UNION ALL SELECT cols WHERE NOT p UNION ALL
+//     SELECT cols WHERE p IS NULL.
+//   - Aggregate: SELECT AGG(c) FROM t must equal the client-side
+//     recombination of the three partition aggregates (sum for
+//     COUNT/SUM, max for MAX), executed as one UNION ALL compound.
+//
+// Both validate whole result sets, so row drops, duplicate elimination,
+// and aggregate bugs that never touch PQS's pivot row are visible.
+type tlp struct {
+	opts Options
+}
+
+// Name implements Oracle.
+func (*tlp) Name() string { return "tlp" }
+
+// Check implements Oracle.
+func (o *tlp) Check(db sut.DB, env *Env) (*Report, error) {
+	table, info, ok := pickTable(db, env.Rnd)
+	if !ok {
+		return nil, nil
+	}
+	eg := &gen.ExprGen{
+		Rnd:      env.Rnd,
+		Cols:     columnPicks(table, info),
+		Hints:    env.Hints,
+		MaxDepth: depthOf(o.opts, env),
+	}
+	pred := eg.Generate()
+	if env.Rnd.Bool(0.5) {
+		return o.checkAgg(db, env, table, info, pred)
+	}
+	return PartitionCheck(db, env, table, gen.ColumnSubset(env.Rnd, info), pred)
+}
+
+// partitions returns the three exhaustive WHERE conditions of p.
+func partitions(pred sqlast.Expr) [3]sqlast.Expr {
+	return [3]sqlast.Expr{
+		pred,
+		sqlast.Not(pred),
+		sqlast.IsNullExpr(pred),
+	}
+}
+
+// PartitionCheck runs TLP's WHERE variant for a specific predicate and
+// projection: the unpartitioned query against the UNION ALL recombination
+// of its three partitions. Exported for the FuzzTLPPartition harness; the
+// oracle's Check wraps it with random generation.
+func PartitionCheck(db sut.DB, env *Env, table string, cols []string, pred sqlast.Expr) (*Report, error) {
+	mk := func(where sqlast.Expr) *sqlast.Select {
+		sel := &sqlast.Select{
+			From:  []sqlast.TableRef{{Name: table}},
+			Where: where,
+		}
+		for _, c := range cols {
+			sel.Cols = append(sel.Cols, sqlast.ResultCol{X: sqlast.Col(table, c)})
+		}
+		return sel
+	}
+	orig := mk(nil)
+	parts := partitions(pred)
+	comp := &sqlast.Compound{
+		Selects: []*sqlast.Select{mk(parts[0]), mk(parts[1]), mk(parts[2])},
+		Ops:     []sqlast.CompoundOp{sqlast.OpUnionAll, sqlast.OpUnionAll},
+	}
+	origRes, rep, err := execCheck(db, env, orig, "tlp")
+	if rep != nil || err != nil || origRes == nil {
+		return rep, err
+	}
+	compRes, rep, err := execCheck(db, env, comp, "tlp")
+	if rep != nil || err != nil || compRes == nil {
+		return rep, err
+	}
+	if !MultisetEqual(origRes.Rows, compRes.Rows) {
+		return &Report{
+			Oracle:     faults.OracleTLP,
+			DetectedBy: "tlp",
+			Message: fmt.Sprintf(
+				"TLP partition mismatch on %s: unpartitioned query returned %d rows, UNION ALL of partitions %d",
+				table, len(origRes.Rows), len(compRes.Rows)),
+			Trace:   append(env.SetupTrace(), sqlast.SQL(comp, env.Dialect)),
+			Compare: sqlast.SQL(orig, env.Dialect),
+		}, nil
+	}
+	return nil, nil
+}
+
+// checkAgg runs the aggregate variant: COUNT always works; SUM only over
+// columns whose stored values are all integral (float addition is not
+// associative, so partition-order sums would false-positive); MAX over any
+// column (max-of-max is order-independent under a total order).
+func (o *tlp) checkAgg(db sut.DB, env *Env, table string, info schema.TableInfo, pred sqlast.Expr) (*Report, error) {
+	col := info.Columns[env.Rnd.Intn(len(info.Columns))].Name
+	fn := [...]string{"COUNT", "SUM", "MAX"}[env.Rnd.Intn(3)]
+	if fn == "SUM" && !allIntegral(db, table, info, col) {
+		fn = "COUNT"
+	}
+	mk := func(where sqlast.Expr) *sqlast.Select {
+		return &sqlast.Select{
+			Cols:  []sqlast.ResultCol{{X: &sqlast.FuncCall{Name: fn, Args: []sqlast.Expr{sqlast.Col(table, col)}}, Alias: "a"}},
+			From:  []sqlast.TableRef{{Name: table}},
+			Where: where,
+		}
+	}
+	orig := mk(nil)
+	parts := partitions(pred)
+	comp := &sqlast.Compound{
+		Selects: []*sqlast.Select{mk(parts[0]), mk(parts[1]), mk(parts[2])},
+		Ops:     []sqlast.CompoundOp{sqlast.OpUnionAll, sqlast.OpUnionAll},
+	}
+	origRes, rep, err := execCheck(db, env, orig, "tlp")
+	if rep != nil || err != nil || origRes == nil {
+		return rep, err
+	}
+	compRes, rep, err := execCheck(db, env, comp, "tlp")
+	if rep != nil || err != nil || compRes == nil {
+		return rep, err
+	}
+	if !AggValuesEqual(fn, origRes.Rows, compRes.Rows) {
+		combined := CombineAgg(fn, compRes.Rows)
+		return &Report{
+			Oracle:     faults.OracleTLP,
+			DetectedBy: "tlp",
+			Agg:        fn,
+			Message: fmt.Sprintf(
+				"TLP aggregate mismatch on %s: %s(%s) is %s unpartitioned but %s recombined from partitions",
+				table, fn, col, aggDisplay(origRes.Rows), combined.String()),
+			Trace:   append(env.SetupTrace(), sqlast.SQL(comp, env.Dialect)),
+			Compare: sqlast.SQL(orig, env.Dialect),
+		}, nil
+	}
+	return nil, nil
+}
+
+func aggDisplay(rows [][]sqlval.Value) string {
+	if len(rows) == 1 && len(rows[0]) == 1 {
+		return rows[0][0].String()
+	}
+	return fmt.Sprintf("%d rows", len(rows))
+}
+
+// allIntegral reports whether every stored value of a column is NULL,
+// integer, or boolean — consulting ground truth (RawRows), not the query
+// path, since SQLite's dynamic typing stores anything in any column.
+func allIntegral(db sut.DB, table string, info schema.TableInfo, col string) bool {
+	ci := -1
+	for i := range info.Columns {
+		if strings.EqualFold(info.Columns[i].Name, col) {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return false
+	}
+	for _, row := range db.Introspect().RawRows(table) {
+		if ci >= len(row) {
+			return false
+		}
+		switch row[ci].Kind() {
+		case sqlval.KNull, sqlval.KInt, sqlval.KBool:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// MultisetEqual compares two result sets as bags of rows, order-blind,
+// with exact (kind-tagged) value identity — both sides project the same
+// stored values, so representation differences cannot legitimately occur.
+func MultisetEqual(a, b [][]sqlval.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[string]int, len(a))
+	for _, row := range a {
+		counts[rowKey(row)]++
+	}
+	for _, row := range b {
+		k := rowKey(row)
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func rowKey(row []sqlval.Value) string {
+	var b strings.Builder
+	for _, v := range row {
+		b.WriteByte(0)
+		if v.IsNull() {
+			b.WriteString("n")
+			continue
+		}
+		b.WriteByte('0' + byte(v.Kind()))
+		b.WriteString(v.Display())
+	}
+	return b.String()
+}
+
+// CombineAgg recombines per-partition aggregate rows into the whole-query
+// value: sum for COUNT/SUM, max for MAX, skipping NULL partitions (an
+// empty partition aggregates to NULL for SUM/MAX).
+func CombineAgg(fn string, rows [][]sqlval.Value) sqlval.Value {
+	var vals []sqlval.Value
+	for _, row := range rows {
+		if len(row) > 0 && !row[0].IsNull() {
+			vals = append(vals, row[0])
+		}
+	}
+	switch strings.ToUpper(fn) {
+	case "COUNT":
+		var n int64
+		for _, v := range vals {
+			n += v.Int64()
+		}
+		return sqlval.Int(n)
+	case "SUM":
+		if len(vals) == 0 {
+			return sqlval.Null()
+		}
+		var n int64
+		for _, v := range vals {
+			n += v.Int64()
+		}
+		return sqlval.Int(n)
+	default: // MAX
+		if len(vals) == 0 {
+			return sqlval.Null()
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			if sqlval.Compare(v, best, sqlval.CollBinary) > 0 {
+				best = v
+			}
+		}
+		return best
+	}
+}
+
+// AggValuesEqual compares the unpartitioned aggregate result (one row, one
+// column) against the recombination of the partition rows.
+func AggValuesEqual(fn string, origRows, partRows [][]sqlval.Value) bool {
+	if len(origRows) != 1 || len(origRows[0]) != 1 {
+		return false
+	}
+	orig := origRows[0][0]
+	combined := CombineAgg(fn, partRows)
+	if orig.IsNull() || combined.IsNull() {
+		return orig.IsNull() == combined.IsNull()
+	}
+	return sqlval.Compare(orig, combined, sqlval.CollBinary) == 0
+}

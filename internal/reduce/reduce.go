@@ -51,6 +51,9 @@ func Statements(trace []string, check Check) []string {
 // For containment bugs: every pivot table must still contain its pivot
 // row (ground truth via RawRows), the final query must succeed, and the
 // expected tuple must be absent from its result.
+// For metamorphic bugs (NoREC/TLP): the final statement and the bug's
+// Compare query are both replayed and the oracle's comparison re-applied —
+// the candidate reproduces iff the two sides still disagree.
 // For error/crash bugs: the final statement must fail with the same error
 // code.
 func CheckerFor(bug *core.Bug, d dialect.Dialect, fs *faults.Set) Check {
@@ -67,6 +70,9 @@ func CheckerFor(bug *core.Bug, d dialect.Dialect, fs *faults.Set) Check {
 			_, _ = db.Exec(sql) // setup errors just weaken the candidate
 		}
 		last := trace[len(trace)-1]
+		if bug.Oracle == faults.OracleNoREC || bug.Oracle == faults.OracleTLP {
+			return metamorphicReproduces(db, bug, d, last)
+		}
 		if bug.Oracle == faults.OracleContainment {
 			res, err := db.Query(last)
 			if err != nil {
@@ -89,6 +95,29 @@ func CheckerFor(bug *core.Bug, d dialect.Dialect, fs *faults.Set) Check {
 		}
 		code, ok := xerr.CodeOf(err)
 		return ok && code == bug.Code
+	}
+}
+
+// metamorphicReproduces re-runs a NoREC/TLP comparison on the replayed
+// database: the final trace statement (optimized / partitioned query)
+// against the bug's Compare partner (unoptimized / unpartitioned form).
+func metamorphicReproduces(db sut.DB, bug *core.Bug, d dialect.Dialect, last string) bool {
+	res, err := db.Query(last)
+	if err != nil {
+		return false
+	}
+	cmp, err := db.Query(bug.Compare)
+	if err != nil {
+		return false
+	}
+	switch {
+	case bug.Oracle == faults.OracleNoREC:
+		want, ok := oracle.TruthyCount(cmp.Rows, d)
+		return ok && len(res.Rows) != want
+	case bug.Agg != "":
+		return !oracle.AggValuesEqual(bug.Agg, cmp.Rows, res.Rows)
+	default:
+		return !oracle.MultisetEqual(res.Rows, cmp.Rows)
 	}
 }
 

@@ -5,11 +5,15 @@ import (
 
 	"repro/internal/dialect"
 	"repro/internal/faults"
+	"repro/internal/oracle"
 )
 
 // TestFullCorpusDetectable is the load-bearing validation behind every
-// table and figure: each of the injected faults must be detected by a PQS
-// campaign within budget, by the oracle its registry entry names.
+// table and figure: each of the injected faults must be detected by a
+// campaign within budget, under the testing oracle its registry entry
+// routes to (PQS for containment/error/crash faults, TLP/NoREC for the
+// metamorphic faults PQS is structurally blind to), and by the verdict
+// oracle the registry names.
 func TestFullCorpusDetectable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("corpus sweep is not short")
@@ -26,6 +30,7 @@ func TestFullCorpusDetectable(t *testing.T) {
 					MaxDatabases: 1500,
 					Workers:      2,
 					BaseSeed:     1,
+					Oracles:      []string{oracle.ForFault(info)},
 				})
 				if !res.Detected {
 					t.Fatalf("fault %s not detected in %d databases (%d statements)",

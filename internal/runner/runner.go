@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dialect"
 	"repro/internal/faults"
+	"repro/internal/oracle"
 	"repro/internal/reduce"
 	"repro/internal/sqlval"
 )
@@ -28,6 +29,11 @@ type Campaign struct {
 	Workers int
 	// BaseSeed offsets worker seeds for determinism.
 	BaseSeed int64
+	// Oracles are the testing oracles to rotate across the campaign's
+	// databases ("pqs", "tlp", "norec"); database i runs under
+	// Oracles[i % len(Oracles)], so parallel workers naturally round-robin
+	// the oracle mix. Empty means PQS only. Overrides Tester.Oracle.
+	Oracles []string
 	// Tester overrides generation parameters (Dialect/Seed/Faults are
 	// filled in by the runner).
 	Tester core.Config
@@ -93,6 +99,9 @@ func RunContext(ctx context.Context, c Campaign) Result {
 				cfg.Dialect = c.Dialect
 				cfg.Seed = c.BaseSeed + seed
 				cfg.Faults = fs
+				if len(c.Oracles) > 0 {
+					cfg.Oracle = c.Oracles[int(seed)%len(c.Oracles)]
+				}
 				tester := core.NewTester(cfg)
 				bug, err := tester.RunDatabase()
 				mu.Lock()
@@ -143,7 +152,9 @@ func RunContext(ctx context.Context, c Campaign) Result {
 	return res
 }
 
-// RunCorpus hunts every registered fault of a dialect, one campaign each.
+// RunCorpus hunts every registered fault of a dialect, one campaign each,
+// routing each fault to the testing oracle its registry entry expects
+// (metamorphic faults are invisible to PQS by construction).
 func RunCorpus(d dialect.Dialect, maxDatabases int, baseSeed int64, doReduce bool) []Result {
 	var out []Result
 	for _, info := range faults.ForDialect(d) {
@@ -153,6 +164,7 @@ func RunCorpus(d dialect.Dialect, maxDatabases int, baseSeed int64, doReduce boo
 			MaxDatabases: maxDatabases,
 			BaseSeed:     baseSeed,
 			Reduce:       doReduce,
+			Oracles:      []string{oracle.ForFault(info)},
 		}))
 	}
 	return out

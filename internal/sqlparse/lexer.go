@@ -141,6 +141,12 @@ func lex(src string) ([]token, error) {
 				sb.WriteByte(src[i])
 				i++
 			}
+			if sb.Len() == 0 {
+				// An empty quoted identifier renders to nothing and can
+				// never name an object; accepting it breaks the
+				// render→reparse fixed point (found by FuzzUnionAllRoundTrip).
+				return nil, errf(start, "empty quoted identifier")
+			}
 			kind := tokDoubleQuoted
 			if quote == '`' {
 				kind = tokIdent // backtick is always an identifier (MySQL)

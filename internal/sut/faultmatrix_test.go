@@ -7,16 +7,18 @@ import (
 	"repro/internal/core"
 	"repro/internal/dialect"
 	"repro/internal/faults"
+	"repro/internal/oracle"
 	"repro/internal/runner"
 )
 
 // TestFaultMatrixWireFidelity is the campaign-level boundary check: every
 // one of the registered faults must still be detected through sut.DB with
 // the session in wire-fidelity mode (render→reparse, the pre-boundary
-// string round trip). Together with runner's TestFullCorpusDetectable —
-// which sweeps the same 39-fault matrix through the default ExecAST fast
-// path — this proves both execution modes of the new API detect the whole
-// corpus.
+// string round trip), each under the testing oracle its registry entry
+// routes to. Together with runner's TestFullCorpusDetectable — which
+// sweeps the same 43-fault matrix through the default ExecAST fast path —
+// this proves both execution modes of the API detect the whole corpus
+// (including TLP's UNION ALL compounds surviving render→reparse).
 func TestFaultMatrixWireFidelity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fault matrix sweep is not short")
@@ -35,6 +37,7 @@ func TestFaultMatrixWireFidelity(t *testing.T) {
 					MaxDatabases: 1500,
 					Workers:      2,
 					BaseSeed:     1,
+					Oracles:      []string{oracle.ForFault(info)},
 					Tester:       core.Config{WireFidelity: true},
 				})
 				if !res.Detected {
@@ -44,12 +47,12 @@ func TestFaultMatrixWireFidelity(t *testing.T) {
 			})
 		}
 	}
-	if total != 39 {
-		t.Errorf("fault registry has %d faults, matrix expects 39", total)
+	if total != 43 {
+		t.Errorf("fault registry has %d faults, matrix expects 43", total)
 	}
 }
 
-// TestFaultMatrixCompiledParity sweeps the same 39-fault matrix through
+// TestFaultMatrixCompiledParity sweeps the same 43-fault matrix through
 // the ExecAST fast path twice — once with compiled expression programs
 // (the default since the compiled-eval tentpole) and once with the
 // -no-compile tree walk — proving detection parity: compilation changes
@@ -80,6 +83,7 @@ func TestFaultMatrixCompiledParity(t *testing.T) {
 							MaxDatabases: 1500,
 							Workers:      2,
 							BaseSeed:     1,
+							Oracles:      []string{oracle.ForFault(info)},
 							Tester:       core.Config{NoCompile: mode.noCompile},
 						})
 						if !res.Detected {
