@@ -12,8 +12,10 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -911,6 +913,141 @@ func BenchmarkRowFilter(b *testing.B) {
 		if r < 1.5 {
 			b.Errorf("compiled row filter only %.2fx tree-walk on %s (tripwire 1.5x, target 2x)", r, name)
 		}
+	}
+}
+
+var (
+	schedOnce       sync.Once
+	schedRatios     map[string]float64 // dialect -> scheduler/baseline dbs/s
+	lifecycleOnce   sync.Once
+	lifecycleRatios map[string]float64 // dialect -> lifecycle/newtester dbs/s
+)
+
+// measureSchedulerThroughput computes, per dialect, the dbs/s of a
+// multi-campaign work-stealing sweep (shared pool, pooled lifecycles)
+// against the per-database NewTester baseline the runner used before the
+// scheduler existed: one goroutine, a fresh Tester and engine for every
+// database. Same workload as BenchmarkCampaignThroughput (QueriesPerDB
+// 20, soundness).
+func measureSchedulerThroughput(b *testing.B) map[string]float64 {
+	schedOnce.Do(func() {
+		schedRatios = map[string]float64{}
+		const perCampaign, campaigns = 100, 6
+		for _, d := range dialect.All {
+			total := perCampaign * campaigns
+
+			start := time.Now()
+			for i := 0; i < total; i++ {
+				tester := core.NewTester(core.Config{Dialect: d, Seed: int64(i + 1), QueriesPerDB: 20})
+				if _, err := tester.RunDatabase(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			baseline := float64(total) / time.Since(start).Seconds()
+
+			var cs []runner.Campaign
+			for i := 0; i < campaigns; i++ {
+				cs = append(cs, runner.Campaign{
+					Dialect:      d,
+					MaxDatabases: perCampaign,
+					BaseSeed:     int64(1 + i*perCampaign),
+					Tester:       core.Config{QueriesPerDB: 20},
+				})
+			}
+			start = time.Now()
+			s := &runner.Scheduler{}
+			for _, r := range s.Sweep(context.Background(), cs) {
+				if r.Detected {
+					b.Fatalf("%s: soundness sweep false positive: %s", d, r.Bug.Message)
+				}
+			}
+			sched := float64(total) / time.Since(start).Seconds()
+
+			schedRatios[d.String()] = sched / baseline
+			printExperiment("sched-"+d.String(), fmt.Sprintf(
+				"Scheduler throughput (%s): %.0f dbs/s over one shared pool vs %.0f dbs/s per-database NewTester -> %.1fx\n",
+				d, sched, baseline, sched/baseline))
+		}
+	})
+	return schedRatios
+}
+
+// BenchmarkSchedulerThroughput is the campaign-scheduler tentpole's
+// acceptance benchmark: many campaigns multiplexed over one shared
+// work-stealing pool of resettable engine lifecycles must clear >= 1.5x
+// the dbs/s of the per-database NewTester baseline on at least one
+// dialect. The CI -benchtime=1x smoke runs this as a tripwire (skipped on
+// boxes without enough cores for parallel speedup to be meaningful).
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	ratios := measureSchedulerThroughput(b)
+	best := 0.0
+	for d, r := range ratios {
+		b.ReportMetric(r, "x-"+d)
+		if r > best {
+			best = r
+		}
+	}
+	if runtime.NumCPU() >= 4 && best < 1.5 {
+		b.Errorf("scheduler sweep only %.2fx the NewTester baseline on the best dialect (tripwire 1.5x)", best)
+	}
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+// measureLifecycleReuse isolates the lifecycle-reuse half of the win from
+// parallelism: the identical single-threaded seed sequence through one
+// pooled Lifecycle (engine Reset + RNG reseed per database) vs a fresh
+// NewTester per database.
+func measureLifecycleReuse(b *testing.B) map[string]float64 {
+	lifecycleOnce.Do(func() {
+		lifecycleRatios = map[string]float64{}
+		const dbs = 400
+		for _, d := range dialect.All {
+			cfg := core.Config{Dialect: d, QueriesPerDB: 20}
+
+			start := time.Now()
+			for i := 0; i < dbs; i++ {
+				c := cfg
+				c.Seed = int64(i + 1)
+				if _, err := core.NewTester(c).RunDatabase(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			fresh := float64(dbs) / time.Since(start).Seconds()
+
+			lc := core.NewLifecycle(cfg)
+			start = time.Now()
+			for i := 0; i < dbs; i++ {
+				if _, err := lc.RunSeed(int64(i + 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reused := float64(dbs) / time.Since(start).Seconds()
+			lc.Close()
+
+			lifecycleRatios[d.String()] = reused / fresh
+			printExperiment("lifecycle-"+d.String(), fmt.Sprintf(
+				"Lifecycle reuse (%s): %.0f dbs/s pooled+reset vs %.0f dbs/s NewTester per database -> %.2fx\n",
+				d, reused, fresh, reused/fresh))
+		}
+	})
+	return lifecycleRatios
+}
+
+// BenchmarkLifecycleReuse tracks the single-threaded reuse win (engine
+// Reset, recycled storage containers, reseeded RNG vs full
+// reconstruction). The tripwire only guards against reuse becoming a
+// regression — the 1.5x acceptance gate lives on the scheduler benchmark,
+// where pooling and work stealing compound.
+func BenchmarkLifecycleReuse(b *testing.B) {
+	ratios := measureLifecycleReuse(b)
+	for d, r := range ratios {
+		b.ReportMetric(r, "x-"+d)
+		if r < 0.95 {
+			b.Errorf("lifecycle reuse is a regression on %s: %.2fx the NewTester baseline", d, r)
+		}
+	}
+	for i := 0; i < b.N; i++ {
 	}
 }
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"path/filepath"
@@ -40,11 +41,23 @@ func main() {
 	flag.Parse()
 
 	start := time.Now()
+	// Every dialect's whole fault corpus goes through one shared
+	// work-stealing scheduler pool: one sweep, not 3 × N serial campaigns.
+	var all []runner.Campaign
+	spans := map[dialect.Dialect][2]int{}
+	for _, d := range dialect.All {
+		cs := runner.CorpusCampaigns(d, *budget, 1, true)
+		spans[d] = [2]int{len(all), len(all) + len(cs)}
+		all = append(all, cs...)
+	}
+	s := &runner.Scheduler{}
+	swept := s.Sweep(context.Background(), all)
 	data := map[dialect.Dialect][]runner.Result{}
 	for _, d := range dialect.All {
-		data[d] = runner.RunCorpus(d, *budget, 1, true)
+		data[d] = swept[spans[d][0]:spans[d][1]]
 	}
-	fmt.Printf("corpus campaigns finished in %s\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("corpus sweep (%d campaigns, one scheduler pool) finished in %s\n\n",
+		len(all), time.Since(start).Round(time.Millisecond))
 
 	table1()
 	table2(data)

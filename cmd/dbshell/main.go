@@ -6,7 +6,12 @@
 //	dbshell -dialect sqlite [-backend memengine|wire] [-fault sqlite.partial-index-not-null] [-no-compile]
 //
 // Statements end with ';'. Meta commands: .tables, .schema <t>,
-// .plan <select>, .oracle <name>, .timer [on|off], .backend, .quit.
+// .plan <select>, .oracle <name>, .snapshot, .restore, .reset,
+// .timer [on|off], .backend, .quit.
+// `.snapshot` captures the database's data copy-on-write and `.restore`
+// rewinds to it (fixed schema; handy for replaying DML against an
+// injected fault), while `.reset` rewinds the whole database to the
+// pristine state of a fresh open.
 // `EXPLAIN [QUERY PLAN] <select>;` also works as a statement and reports
 // the planner's chosen access path per FROM source. `.timer on` prints
 // per-statement wall time — combined with -no-compile it A/B-tests
@@ -28,6 +33,7 @@ import (
 	// machinery lives there; see internal/core/oracle_pqs.go).
 	_ "repro/internal/core"
 	"repro/internal/dialect"
+	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/oracle"
@@ -134,6 +140,41 @@ func meta(db sut.DB, backend, cmd string) bool {
 		for _, p := range paths {
 			fmt.Println(" ", p)
 		}
+	case cmd == ".reset":
+		r, ok := db.(sut.Resetter)
+		if !ok {
+			fmt.Println("error: backend cannot reset in place")
+			return true
+		}
+		if err := r.Reset(); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		savedSnapshot = nil
+		fmt.Println("database reset to pristine state")
+	case cmd == ".snapshot":
+		s, ok := db.(snapshotter)
+		if !ok {
+			fmt.Println("error: backend does not support data snapshots")
+			return true
+		}
+		savedSnapshot = s.Snapshot()
+		fmt.Println("data snapshot saved (valid until the next schema change)")
+	case cmd == ".restore":
+		s, ok := db.(snapshotter)
+		if !ok {
+			fmt.Println("error: backend does not support data snapshots")
+			return true
+		}
+		if savedSnapshot == nil {
+			fmt.Println("error: no snapshot saved (use .snapshot first)")
+			return true
+		}
+		if err := s.RestoreSnapshot(savedSnapshot); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Println("data restored")
 	case strings.HasPrefix(cmd, ".oracle"):
 		runOracle(db, strings.TrimSpace(strings.TrimPrefix(cmd, ".oracle")))
 	case strings.HasPrefix(cmd, ".timer"):
@@ -150,10 +191,20 @@ func meta(db sut.DB, backend, cmd string) bool {
 		}
 		fmt.Printf("timer %s\n", map[bool]string{true: "on", false: "off"}[timerOn])
 	default:
-		fmt.Println("meta commands: .tables, .schema <t>, .plan <select>, .oracle <name>, .timer [on|off], .backend, .quit")
+		fmt.Println("meta commands: .tables, .schema <t>, .plan <select>, .oracle <name>, .snapshot, .restore, .reset, .timer [on|off], .backend, .quit")
 	}
 	return true
 }
+
+// snapshotter is the optional backend capability behind .snapshot and
+// .restore (memengine implements it over engine data snapshots).
+type snapshotter interface {
+	Snapshot() *engine.Snapshot
+	RestoreSnapshot(*engine.Snapshot) error
+}
+
+// savedSnapshot is the shell's one snapshot slot.
+var savedSnapshot *engine.Snapshot
 
 // oracleChecks is how many checks one .oracle invocation runs: each check
 // draws a fresh random predicate, so a single iteration would usually

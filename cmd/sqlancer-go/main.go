@@ -6,10 +6,18 @@
 //
 //	sqlancer-go -dialect sqlite -fault sqlite.partial-index-not-null -max-dbs 500
 //	sqlancer-go -dialect sqlite -oracle pqs,tlp,norec -fault sqlite.union-all-dedup
+//	sqlancer-go -dialect sqlite -corpus -max-dbs 2000
 //	sqlancer-go -dialect mysql -mode fuzz -max-dbs 200
 //	sqlancer-go -mode diff -dialect sqlite -right postgres
 //	sqlancer-go -backend wire -dialect sqlite -fault sqlite.partial-index-not-null
 //	sqlancer-go -list-faults
+//
+// -corpus sweeps every registered fault of the dialect in one run: all
+// campaigns multiplex over one shared work-stealing scheduler pool of
+// pooled, resettable engine sessions (-workers sizes the pool), each
+// fault routed to the oracle its registry entry expects, with -max-dbs
+// as the per-fault budget. Detections report the canonical lowest seed,
+// so corpus results are reproducible regardless of the worker count.
 //
 // -oracle selects the testing oracles of a pqs-mode campaign
 // (comma-separated: pqs, tlp, norec) — databases round-robin across them,
@@ -23,10 +31,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dialect"
@@ -57,6 +67,7 @@ func main() {
 		backend     = flag.String("backend", sut.DefaultBackend, "SUT backend: memengine, wire")
 		wireFid     = flag.Bool("wire-fidelity", false, "render+reparse each statement instead of the AST fast path")
 		noCompile   = flag.Bool("no-compile", false, "disable compiled expression programs (tree-walk evaluation)")
+		corpusFlag  = flag.Bool("corpus", false, "sweep every registered fault of the dialect through one shared scheduler pool (-max-dbs is the per-fault budget)")
 		listFaults  = flag.Bool("list-faults", false, "print the fault registry and exit")
 	)
 	flag.Parse()
@@ -72,6 +83,27 @@ func main() {
 	d, err := dialect.Parse(*dialectFlag)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *corpusFlag {
+		if *mode != "pqs" {
+			fatal(fmt.Errorf("-corpus applies to -mode pqs only"))
+		}
+		if *faultFlag != "" {
+			fatal(fmt.Errorf("-corpus sweeps every fault; drop -fault"))
+		}
+		if *oracleFlag != "pqs" {
+			fatal(fmt.Errorf("-corpus routes each fault to its registry oracle; drop -oracle"))
+		}
+		runCorpus(d, *maxDBs, *workers, *seed, *doReduce, core.Config{
+			MaxRows:      *rows,
+			MaxExprDepth: *depth,
+			QueriesPerDB: *queries,
+			Backend:      *backend,
+			WireFidelity: *wireFid,
+			NoCompile:    *noCompile,
+		})
+		return
 	}
 
 	switch *mode {
@@ -168,6 +200,31 @@ func runPQS(d dialect.Dialect, faultName, backend string, wireFid, noCompile boo
 	if res.Bug.Compare != "" {
 		fmt.Printf("  -- compare against: %s;\n", res.Bug.Compare)
 	}
+}
+
+// runCorpus hunts the dialect's whole fault corpus in one work-stealing
+// sweep: one scheduler pool multiplexes every per-fault campaign, each
+// routed to its registry oracle.
+func runCorpus(d dialect.Dialect, maxDBs, workers int, seed int64, doReduce bool, tcfg core.Config) {
+	start := time.Now()
+	cs := runner.CorpusCampaigns(d, maxDBs, seed, doReduce)
+	for i := range cs {
+		cs[i].Tester = tcfg
+	}
+	s := &runner.Scheduler{Workers: workers}
+	results := s.Sweep(context.Background(), cs)
+	detected, databases := 0, 0
+	for _, r := range results {
+		databases += r.Databases
+		status := "missed"
+		if r.Detected {
+			detected++
+			status = fmt.Sprintf("detected seed=%d dbs=%d oracle=%s (%s)", r.Seed, r.Databases, r.Bug.DetectedBy, r.Bug.Oracle)
+		}
+		fmt.Printf("%-40s %s\n", r.Campaign.Fault, status)
+	}
+	fmt.Printf("corpus: %d/%d faults detected, %d databases in %s (one shared scheduler pool)\n",
+		detected, len(results), databases, time.Since(start).Round(time.Millisecond))
 }
 
 func runFuzz(d dialect.Dialect, faultName, backend string, wireFid, noCompile bool, maxDBs int, seed int64, queries int) {

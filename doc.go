@@ -31,6 +31,14 @@
 // tree-walk interpreter for A/B runs. See DESIGN.md "Compiled expression
 // programs".
 //
+// Campaigns execute on a shared work-stealing scheduler
+// (runner.Scheduler) over pooled, resettable engine lifecycles: the
+// engine's Reset/Snapshot facilities and sut.Pool let one engine serve
+// many database lifecycles, and a whole fault corpus sweeps through one
+// worker pool (`sqlancer-go -corpus`). Detections report the canonical
+// lowest seed, so campaign results are identical at any worker count.
+// See DESIGN.md "Campaign scheduler & engine lifecycle".
+//
 // The root package holds the benchmark harness (bench_test.go) that
 // regenerates every table and figure of the paper's evaluation; the
 // implementation lives under internal/ (see DESIGN.md for the map).

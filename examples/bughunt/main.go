@@ -11,7 +11,6 @@ import (
 
 	"repro/internal/dialect"
 	"repro/internal/faults"
-	"repro/internal/oracle"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
@@ -24,23 +23,19 @@ func main() {
 	detected := map[dialect.Dialect]int{}
 	missed := map[dialect.Dialect]int{}
 
+	// One work-stealing sweep per dialect: every fault campaign multiplexes
+	// over a shared scheduler pool of pooled, resettable engine sessions
+	// instead of standing up a fresh worker pool per fault.
 	for _, d := range dialect.All {
 		perOracle[d] = map[faults.Oracle]int{}
 		fmt.Printf("== %s ==\n", d.DisplayName())
-		for _, info := range faults.ForDialect(d) {
-			res := runner.Run(runner.Campaign{
-				Dialect:      d,
-				Fault:        info.ID,
-				MaxDatabases: *budget,
-				BaseSeed:     1,
-				Reduce:       true,
-				Oracles:      []string{oracle.ForFault(info)},
-			})
+		for _, res := range runner.RunCorpus(d, *budget, 1, true) {
+			info, _ := faults.Lookup(res.Campaign.Fault)
 			if res.Detected {
 				detected[d]++
 				perOracle[d][res.Bug.Oracle]++
-				fmt.Printf("  %-40s found by %-6s (%s verdict) after %4d dbs, reduced to %d stmts\n",
-					info.ID, res.Bug.DetectedBy, res.Bug.Oracle, res.Databases, len(res.Reduced))
+				fmt.Printf("  %-40s found by %-6s (%s verdict) at seed %4d, reduced to %d stmts\n",
+					info.ID, res.Bug.DetectedBy, res.Bug.Oracle, res.Seed, len(res.Reduced))
 			} else {
 				missed[d]++
 				fmt.Printf("  %-40s MISSED in %d dbs\n", info.ID, res.Databases)

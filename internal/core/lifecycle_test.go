@@ -1,0 +1,151 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/faults"
+	"repro/internal/oracle"
+)
+
+// TestLifecycleMatchesNewTesterPerDatabase is the equivalence behind the
+// pooled campaign hot loop: for every seed, a reused Lifecycle must
+// produce exactly the outcome (detection or not, message, trace) that a
+// throwaway NewTester would — across dialects, faults, and oracles, so
+// that scheduler results cannot depend on lifecycle reuse.
+func TestLifecycleMatchesNewTesterPerDatabase(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		fault  faults.Fault
+		oracle string
+		seeds  int64
+	}{
+		{name: "sqlite-pqs-sound", cfg: Config{Dialect: dialect.SQLite}, seeds: 15},
+		{name: "mysql-pqs-fault", cfg: Config{Dialect: dialect.MySQL}, fault: faults.InsertVisibility, seeds: 40},
+		{name: "postgres-pqs", cfg: Config{Dialect: dialect.Postgres}, seeds: 10},
+		{name: "sqlite-tlp", cfg: Config{Dialect: dialect.SQLite}, oracle: "tlp", fault: faults.UnionAllDedup, seeds: 25},
+		{name: "sqlite-norec", cfg: Config{Dialect: dialect.SQLite}, oracle: "norec", seeds: 10},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := tc.cfg
+			cfg.QueriesPerDB = 10
+			if tc.fault != "" {
+				cfg.Faults = faults.NewSet(tc.fault)
+			}
+			cfg.Oracle = tc.oracle
+
+			type outcome struct {
+				msg   string
+				trace []string
+			}
+			capture := func(b *Bug) outcome {
+				if b == nil {
+					return outcome{}
+				}
+				return outcome{msg: b.Message, trace: b.Trace}
+			}
+
+			lc := NewLifecycle(cfg)
+			defer lc.Close()
+			for seed := int64(1); seed <= tc.seeds; seed++ {
+				fresh := NewTester(func() Config { c := cfg; c.Seed = seed; return c }())
+				wantBug, wantErr := fresh.RunDatabase()
+				gotBug, gotErr := lc.RunSeed(seed)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("seed %d: err %v vs %v", seed, wantErr, gotErr)
+				}
+				want, got := capture(wantBug), capture(gotBug)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("seed %d diverged:\nfresh:     %+v\nlifecycle: %+v", seed, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestLifecycleIsolationAcrossFaultRegistry sweeps every registered fault
+// through a reused Lifecycle and a throwaway NewTester per seed, and
+// fails on any divergence — the definitive check that no engine or tester
+// state (options, fault bookkeeping, caches) leaks across Reset. The
+// case-sensitive-like pragma fault earned this test: its evaluator-side
+// option copy survived an early Reset implementation and turned into
+// containment false positives at seed 216.
+func TestLifecycleIsolationAcrossFaultRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("registry sweep is not short")
+	}
+	const seeds = 25
+	for _, info := range faults.All() {
+		info := info
+		t.Run(string(info.ID), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				Dialect:      info.Dialect,
+				Faults:       faults.NewSet(info.ID),
+				QueriesPerDB: 10,
+				Oracle:       oracleForInfo(info),
+			}
+			lc := NewLifecycle(cfg)
+			defer lc.Close()
+			for seed := int64(1); seed <= seeds; seed++ {
+				c2 := cfg
+				c2.Seed = seed
+				wantBug, wantErr := NewTester(c2).RunDatabase()
+				gotBug, gotErr := lc.RunSeed(seed)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("seed %d: err %v vs %v", seed, wantErr, gotErr)
+				}
+				var want, got string
+				if wantBug != nil {
+					want = string(wantBug.Oracle) + ": " + wantBug.Message
+				}
+				if gotBug != nil {
+					got = string(gotBug.Oracle) + ": " + gotBug.Message
+				}
+				if want != got {
+					t.Fatalf("seed %d diverged (state leaked across Reset?):\nfresh:     %s\nlifecycle: %s", seed, want, got)
+				}
+			}
+		})
+	}
+}
+
+// oracleForInfo routes a fault to its registry oracle without importing
+// the runner (mirrors oracle.ForFault).
+func oracleForInfo(info faults.Info) string {
+	return oracle.ForFault(info)
+}
+
+// TestLifecycleOracleRotation verifies SetOracle switches the query phase
+// without disturbing determinism: rotating pqs→tlp→pqs reproduces the
+// same outcomes as one-shot testers with those oracles.
+func TestLifecycleOracleRotation(t *testing.T) {
+	base := Config{Dialect: dialect.SQLite, QueriesPerDB: 8, Faults: faults.NewSet(faults.UnionAllDedup)}
+	lc := NewLifecycle(base)
+	defer lc.Close()
+	oracles := []string{"pqs", "tlp", "pqs", "norec", "tlp"}
+	for i, name := range oracles {
+		seed := int64(100 + i)
+		cfg := base
+		cfg.Seed = seed
+		cfg.Oracle = name
+		wantBug, wantErr := NewTester(cfg).RunDatabase()
+		lc.SetOracle(name)
+		gotBug, gotErr := lc.RunSeed(seed)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s seed %d: err %v vs %v", name, seed, wantErr, gotErr)
+		}
+		if (wantBug == nil) != (gotBug == nil) {
+			t.Fatalf("%s seed %d: detection %v vs %v", name, seed, wantBug != nil, gotBug != nil)
+		}
+		if wantBug != nil && (wantBug.Message != gotBug.Message || wantBug.DetectedBy != gotBug.DetectedBy) {
+			t.Fatalf("%s seed %d: %q/%q vs %q/%q", name, seed,
+				wantBug.DetectedBy, wantBug.Message, gotBug.DetectedBy, gotBug.Message)
+		}
+	}
+}

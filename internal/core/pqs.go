@@ -168,9 +168,14 @@ func NewTester(cfg Config) *Tester {
 		stats: newStats(),
 	}
 	if name := cfg.Oracle; name != "" && name != "pqs" {
-		t.meta, t.metaErr = oracle.New(name, oracle.Options{MaxExprDepth: cfg.MaxExprDepth})
+		t.meta, t.metaErr = newMetaOracle(name, cfg)
 	}
 	return t
+}
+
+// newMetaOracle resolves a metamorphic oracle from the registry.
+func newMetaOracle(name string, cfg Config) (oracle.Oracle, error) {
+	return oracle.New(name, oracle.Options{MaxExprDepth: cfg.MaxExprDepth})
 }
 
 // oracleName reports the testing oracle this tester runs.
@@ -190,8 +195,9 @@ type bugSignal struct{ bug *Bug }
 // Error implements the error interface.
 func (b *bugSignal) Error() string { return "oracle detection: " + b.bug.Message }
 
-// session maps tester configuration onto per-connection SUT options.
-func (c Config) session() sut.Session {
+// Session maps tester configuration onto per-connection SUT options (the
+// scheduler builds per-campaign session pools from it).
+func (c Config) Session() sut.Session {
 	return sut.Session{
 		Dialect:      c.Dialect,
 		Faults:       c.Faults,
@@ -231,7 +237,7 @@ func RenderStmts(stmts []sqlast.Stmt, d dialect.Dialect) []string {
 // RunDatabase executes one full database lifecycle (steps 1–7, looped) and
 // returns the first detection, or nil.
 func (t *Tester) RunDatabase() (*Bug, error) {
-	db, err := sut.Open(t.cfg.Backend, t.cfg.session())
+	db, err := sut.Open(t.cfg.Backend, t.cfg.Session())
 	if err != nil {
 		return nil, err
 	}

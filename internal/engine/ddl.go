@@ -109,7 +109,7 @@ func (e *Engine) createTable(n *sqlast.CreateTable) (*Result, error) {
 		parent, _ := e.cat.Table(t.Parent)
 		parent.Children = append(parent.Children, t.Name)
 	}
-	e.data[lower(t.Name)] = storage.NewTableData()
+	e.data[lower(t.Name)] = e.newTableData()
 	e.cov.hit("ddl.create-table")
 	if n.WithoutRowid {
 		e.cov.hit("ddl.without-rowid")
@@ -243,7 +243,7 @@ func (e *Engine) createIndex(n *sqlast.CreateIndex) (*Result, error) {
 			}
 		}
 	}
-	ixd := storage.NewIndexData(buildColls, descs)
+	ixd := e.newIndexData(buildColls, descs)
 
 	// Populate from existing rows, enforcing uniqueness.
 	for _, r := range td.Rows() {

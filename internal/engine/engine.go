@@ -56,12 +56,19 @@ type Engine struct {
 	state map[string]*tableState
 
 	seq               int64
+	ddlEpoch          int64  // bumped on schema changes; guards data snapshots
 	corrupt           string // non-empty: database is corrupted; message
 	caseSensitiveLike bool
 	noPlanner         bool // force full scans (differential-test baseline)
 	noCompile         bool // force tree-walk evaluation (compiled-eval baseline)
 	skipIndexMaint    bool // stale-index fault: storeRow leaves indexes untouched
 	globals           map[string]sqlval.Value
+
+	// freeTables/freeIndexes recycle storage containers across Reset so a
+	// pooled engine lifecycle reuses row-slice and entry-slab capacity
+	// instead of reallocating per database.
+	freeTables  []*storage.TableData
+	freeIndexes []*storage.IndexData
 
 	// progs caches compiled expression programs by AST node identity;
 	// DDL-class statements clear it (see compiled.go).
@@ -165,6 +172,13 @@ func (e *Engine) ExecStmt(st sqlast.Stmt) (res *Result, err error) {
 	e.cov.hit("stmt." + st.Kind())
 	if len(e.progs) > 0 && invalidatesPrograms(st) {
 		clear(e.progs)
+	}
+	switch st.(type) {
+	case *sqlast.CreateTable, *sqlast.CreateIndex, *sqlast.CreateView,
+		*sqlast.CreateStats, *sqlast.AlterTable, *sqlast.Drop:
+		// Schema shape may change: invalidate outstanding data snapshots
+		// (conservatively, even if the statement goes on to fail).
+		e.ddlEpoch++
 	}
 
 	// A corrupted database fails every subsequent data statement, like

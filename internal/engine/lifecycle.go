@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"repro/internal/sqlval"
+	"repro/internal/storage"
+	"repro/internal/xerr"
+)
+
+// Engine lifecycle support: Reset restores a pristine empty database
+// without reallocating the engine's long-lived structures (catalog and
+// state maps, the compiled-program cache, recycled storage containers),
+// and Snapshot/Restore capture and rewind the *data* of a fixed schema
+// using the copy-on-write snapshots from internal/storage. Together they
+// let campaign schedulers run many database lifecycles on one engine
+// instead of constructing a fresh Engine per database.
+
+// Reset restores the engine to the pristine state of a fresh Open: no
+// tables, no options, no corruption. Allocations survive — maps are
+// cleared in place, the compiled-program cache keeps its buckets, and the
+// dropped tables' storage containers go onto freelists that the next
+// CREATE TABLE/INDEX pops — so a reset-and-rebuild cycle reuses the
+// previous lifecycle's capacity. Coverage counters deliberately keep
+// accumulating across resets (Table 4 measures a whole run).
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, td := range e.data {
+		td.Reset()
+		e.freeTables = append(e.freeTables, td)
+	}
+	for _, ixd := range e.idx {
+		ixd.Reset(nil, nil)
+		e.freeIndexes = append(e.freeIndexes, ixd)
+	}
+	clear(e.data)
+	clear(e.idx)
+	clear(e.state)
+	clear(e.globals)
+	clear(e.progs)
+	e.cat.Reset()
+	e.seq = 0
+	e.ddlEpoch++
+	e.corrupt = ""
+	e.caseSensitiveLike = false
+	e.ev.CaseSensitiveLike = false
+	e.skipIndexMaint = false
+}
+
+// newTableData pops a recycled heap or allocates one.
+func (e *Engine) newTableData() *storage.TableData {
+	if n := len(e.freeTables); n > 0 {
+		td := e.freeTables[n-1]
+		e.freeTables = e.freeTables[:n-1]
+		return td
+	}
+	return storage.NewTableData()
+}
+
+// newIndexData pops a recycled index or allocates one.
+func (e *Engine) newIndexData(colls []sqlval.Collation, descs []bool) *storage.IndexData {
+	if n := len(e.freeIndexes); n > 0 {
+		ixd := e.freeIndexes[n-1]
+		e.freeIndexes = e.freeIndexes[:n-1]
+		ixd.Reset(colls, descs)
+		return ixd
+	}
+	return storage.NewIndexData(colls, descs)
+}
+
+// Snapshot is a copy-on-write capture of the engine's data: every table's
+// rows, every index's entries, and the session state that statements can
+// change without DDL (options, per-table bookkeeping, corruption). It is
+// valid until the next schema change; Restore refuses stale snapshots.
+type Snapshot struct {
+	epoch   int64
+	seq     int64
+	corrupt string
+	csLike  bool
+	tables  map[string]*storage.TableSnapshot
+	indexes map[string]*storage.IndexSnapshot
+	state   map[string]tableState
+	globals map[string]sqlval.Value
+}
+
+// Snapshot captures the current data state (see type Snapshot). Cost is
+// proportional to the number of rows and index entries, not their size —
+// the row values themselves are shared copy-on-write.
+func (e *Engine) Snapshot() *Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := &Snapshot{
+		epoch:   e.ddlEpoch,
+		seq:     e.seq,
+		corrupt: e.corrupt,
+		csLike:  e.caseSensitiveLike,
+		tables:  make(map[string]*storage.TableSnapshot, len(e.data)),
+		indexes: make(map[string]*storage.IndexSnapshot, len(e.idx)),
+		state:   make(map[string]tableState, len(e.state)),
+		globals: make(map[string]sqlval.Value, len(e.globals)),
+	}
+	for name, td := range e.data {
+		s.tables[name] = td.Snapshot()
+	}
+	for name, ixd := range e.idx {
+		s.indexes[name] = ixd.Snapshot()
+	}
+	for name, ts := range e.state {
+		s.state[name] = *ts
+	}
+	for name, v := range e.globals {
+		s.globals[name] = v
+	}
+	return s
+}
+
+// Restore rewinds the engine's data to a snapshot taken from it. It fails
+// with CodeUnsupported if the schema changed since the snapshot (data
+// snapshots capture rows, not catalog shape).
+func (e *Engine) Restore(s *Snapshot) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.epoch != e.ddlEpoch {
+		return xerr.New(xerr.CodeUnsupported, "snapshot is stale: schema changed since it was taken")
+	}
+	for name, td := range e.data {
+		td.Restore(s.tables[name])
+	}
+	for name, ixd := range e.idx {
+		ixd.Restore(s.indexes[name])
+	}
+	clear(e.state)
+	for name, ts := range s.state {
+		st := ts
+		e.state[name] = &st
+	}
+	clear(e.globals)
+	for name, v := range s.globals {
+		e.globals[name] = v
+	}
+	e.seq = s.seq
+	e.corrupt = s.corrupt
+	e.caseSensitiveLike = s.csLike
+	e.ev.CaseSensitiveLike = s.csLike
+	clear(e.progs) // programs may close over session options
+	return nil
+}

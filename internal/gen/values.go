@@ -24,6 +24,12 @@ func NewRand(d dialect.Dialect, seed int64) *Rand {
 	return &Rand{R: rand.New(rand.NewSource(seed)), D: d}
 }
 
+// Reseed rewinds the generator to the exact stream a fresh NewRand(d,
+// seed) would produce, without reallocating the source — pooled tester
+// lifecycles re-seed per database so results never depend on how many
+// databases a lifecycle has already run.
+func (g *Rand) Reseed(seed int64) { g.R.Seed(seed) }
+
 // Intn forwards to the source.
 func (g *Rand) Intn(n int) int { return g.R.Intn(n) }
 

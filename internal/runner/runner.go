@@ -1,21 +1,20 @@
 // Package runner drives PQS campaigns: parallel workers, each on its own
 // database (the paper parallelizes by "running each thread on a distinct
 // database"), hunting one injected fault until detection or budget
-// exhaustion. Campaign results feed every table and figure reproduction.
+// exhaustion. Campaigns execute on a shared work-stealing Scheduler over
+// pooled, resettable engine lifecycles — one campaign per Run call, or a
+// whole fault corpus multiplexed through one pool per RunCorpus sweep.
+// Campaign results feed every table and figure reproduction.
 package runner
 
 import (
 	"context"
-	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dialect"
 	"repro/internal/faults"
 	"repro/internal/oracle"
-	"repro/internal/reduce"
-	"repro/internal/sqlval"
 )
 
 // Campaign configures one hunt.
@@ -26,6 +25,8 @@ type Campaign struct {
 	// MaxDatabases bounds the total databases generated across workers.
 	MaxDatabases int
 	// Workers is the parallelism degree (default GOMAXPROCS, capped at 8).
+	// Inside a multi-campaign Scheduler sweep the shared pool's size wins
+	// and this field is ignored.
 	Workers int
 	// BaseSeed offsets worker seeds for determinism.
 	BaseSeed int64
@@ -41,11 +42,17 @@ type Campaign struct {
 	Reduce bool
 }
 
-// Result is a campaign outcome.
+// Result is a campaign outcome. Detected, Bug, Seed, and Reduced are
+// deterministic for a given BaseSeed regardless of worker count (the
+// scheduler reports the lowest detecting seed); Databases, Stats, and
+// Elapsed count the actual work done, which varies with scheduling.
 type Result struct {
-	Campaign  Campaign
-	Detected  bool
-	Bug       *core.Bug
+	Campaign Campaign
+	Detected bool
+	Bug      *core.Bug
+	// Seed is the seed of the detecting database (BaseSeed + offset), or
+	// -1 when nothing was detected.
+	Seed      int64
 	Reduced   []string
 	Databases int
 	Stats     core.Stats
@@ -58,114 +65,44 @@ func Run(c Campaign) Result {
 }
 
 // RunContext executes the campaign until detection, budget exhaustion, or
-// context cancellation. On cancellation the seed feed stops immediately and
-// in-flight databases finish; the partial Result reports the work done so
-// far (Detected stays false unless a worker already found the bug).
+// context cancellation. On cancellation the seed feed stops immediately
+// and in-flight databases finish; the partial Result reports the work
+// done so far (Detected stays false unless a worker already found the
+// bug).
 func RunContext(ctx context.Context, c Campaign) Result {
-	if c.MaxDatabases <= 0 {
-		c.MaxDatabases = 200
-	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-		if c.Workers > 8 {
-			c.Workers = 8
-		}
-	}
-	var fs *faults.Set
-	if c.Fault != "" {
-		fs = faults.NewSet(c.Fault)
-	}
-
-	start := time.Now()
-	var (
-		mu        sync.Mutex
-		found     *core.Bug
-		databases int
-		agg       = core.Stats{Rectified: map[sqlval.TriBool]int{}}
-	)
-
-	next := make(chan int64)
-	done := make(chan struct{})
-	var wg sync.WaitGroup
-	for w := 0; w < c.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for seed := range next {
-				if ctx.Err() != nil {
-					return
-				}
-				cfg := c.Tester
-				cfg.Dialect = c.Dialect
-				cfg.Seed = c.BaseSeed + seed
-				cfg.Faults = fs
-				if len(c.Oracles) > 0 {
-					cfg.Oracle = c.Oracles[int(seed)%len(c.Oracles)]
-				}
-				tester := core.NewTester(cfg)
-				bug, err := tester.RunDatabase()
-				mu.Lock()
-				databases++
-				agg.Add(tester.Stats())
-				alreadyFound := found != nil
-				if err == nil && bug != nil && !alreadyFound {
-					found = bug
-					close(done)
-				}
-				mu.Unlock()
-				if err == nil && bug != nil {
-					return
-				}
-			}
-		}()
-	}
-
-	go func() {
-		defer close(next)
-		for i := 0; i < c.MaxDatabases; i++ {
-			select {
-			case next <- int64(i):
-			case <-done:
-				return
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	wg.Wait()
-
-	res := Result{
-		Campaign:  c,
-		Detected:  found != nil,
-		Bug:       found,
-		Databases: databases,
-		Elapsed:   time.Since(start),
-	}
-	res.Stats = agg
-	if found != nil {
-		if c.Reduce {
-			res.Reduced = reduce.BugFully(found, c.Dialect, fs)
-		} else {
-			res.Reduced = found.Trace
-		}
-	}
-	return res
+	s := &Scheduler{Workers: c.Workers}
+	return s.Sweep(ctx, []Campaign{c})[0]
 }
 
-// RunCorpus hunts every registered fault of a dialect, one campaign each,
-// routing each fault to the testing oracle its registry entry expects
-// (metamorphic faults are invisible to PQS by construction).
-func RunCorpus(d dialect.Dialect, maxDatabases int, baseSeed int64, doReduce bool) []Result {
-	var out []Result
+// CorpusCampaigns builds the standard campaign per registered fault of a
+// dialect, routing each fault to the testing oracle its registry entry
+// expects (metamorphic faults are invisible to PQS by construction).
+func CorpusCampaigns(d dialect.Dialect, maxDatabases int, baseSeed int64, doReduce bool) []Campaign {
+	var out []Campaign
 	for _, info := range faults.ForDialect(d) {
-		out = append(out, Run(Campaign{
+		out = append(out, Campaign{
 			Dialect:      d,
 			Fault:        info.ID,
 			MaxDatabases: maxDatabases,
 			BaseSeed:     baseSeed,
 			Reduce:       doReduce,
 			Oracles:      []string{oracle.ForFault(info)},
-		}))
+		})
 	}
 	return out
+}
+
+// RunCorpus hunts every registered fault of a dialect through one shared
+// scheduler pool (one work-stealing sweep, not one worker pool per
+// fault).
+func RunCorpus(d dialect.Dialect, maxDatabases int, baseSeed int64, doReduce bool) []Result {
+	return RunCorpusContext(context.Background(), d, maxDatabases, baseSeed, doReduce)
+}
+
+// RunCorpusContext is RunCorpus with cancellation: the sweep stops
+// issuing databases when ctx is done, in-flight databases finish, and
+// every fault reports its partial Result.
+func RunCorpusContext(ctx context.Context, d dialect.Dialect, maxDatabases int, baseSeed int64, doReduce bool) []Result {
+	s := &Scheduler{}
+	return s.Sweep(ctx, CorpusCampaigns(d, maxDatabases, baseSeed, doReduce))
 }

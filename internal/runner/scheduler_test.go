@@ -1,0 +1,171 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dialect"
+	"repro/internal/faults"
+	"repro/internal/oracle"
+)
+
+// canonical is the schedule-independent slice of a Result: detection,
+// detecting seed, oracle attribution, trace, and reduction. Databases,
+// Stats, and Elapsed legitimately vary with worker count.
+type canonical struct {
+	Detected   bool
+	Seed       int64
+	Oracle     string
+	DetectedBy string
+	Message    string
+	Trace      []string
+	Reduced    []string
+}
+
+func canon(r Result) canonical {
+	c := canonical{Detected: r.Detected, Seed: r.Seed, Reduced: r.Reduced}
+	if r.Bug != nil {
+		c.Oracle = string(r.Bug.Oracle)
+		c.DetectedBy = r.Bug.DetectedBy
+		c.Message = r.Bug.Message
+		c.Trace = r.Bug.Trace
+	}
+	return c
+}
+
+// TestSchedulerDeterminism is the acceptance test for canonical
+// lowest-seed detection: the same BaseSeed must yield byte-identical
+// results (detection, seed, oracle, trace, reduction) at Workers=1 and
+// Workers=8, for detecting, metamorphic, and soundness campaigns alike.
+// CI runs this under -race: the interesting failures are scheduler data
+// races, not just wrong answers.
+func TestSchedulerDeterminism(t *testing.T) {
+	campaigns := []Campaign{
+		{Dialect: dialect.MySQL, Fault: faults.InsertVisibility, MaxDatabases: 300, BaseSeed: 1, Reduce: true},
+		{Dialect: dialect.SQLite, Fault: faults.UnionAllDedup, MaxDatabases: 300, BaseSeed: 7, Oracles: []string{"tlp"}},
+		{Dialect: dialect.SQLite, Fault: faults.PartialIndexNotNull, MaxDatabases: 300, BaseSeed: 3, Oracles: []string{"pqs", "tlp", "norec"}},
+		{Dialect: dialect.Postgres, MaxDatabases: 30, BaseSeed: 5}, // soundness: must exhaust budget
+	}
+	sweep := func(workers int) []canonical {
+		s := &Scheduler{Workers: workers}
+		results := s.Sweep(context.Background(), campaigns)
+		out := make([]canonical, len(results))
+		for i, r := range results {
+			out[i] = canon(r)
+		}
+		return out
+	}
+	one := sweep(1)
+	eight := sweep(8)
+	for i := range campaigns {
+		if !reflect.DeepEqual(one[i], eight[i]) {
+			t.Errorf("campaign %d not schedule-independent:\nworkers=1: %+v\nworkers=8: %+v", i, one[i], eight[i])
+		}
+	}
+	// Sanity: the detecting campaigns did detect, the soundness one did not.
+	for i := 0; i < 3; i++ {
+		if !one[i].Detected {
+			t.Errorf("campaign %d missed its fault", i)
+		}
+	}
+	if one[3].Detected {
+		t.Errorf("soundness campaign false positive: %+v", one[3])
+	}
+	if one[3].Seed != -1 {
+		t.Errorf("soundness campaign Seed = %d, want -1", one[3].Seed)
+	}
+}
+
+// TestSweepMatchesIndividualRuns pins the shared-pool refactor's
+// compatibility contract: a whole-corpus sweep through one scheduler must
+// report the same per-fault detections as one campaign run at a time.
+func TestSweepMatchesIndividualRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep comparison is not short")
+	}
+	var campaigns []Campaign
+	for _, info := range faults.ForDialect(dialect.MySQL) {
+		campaigns = append(campaigns, Campaign{
+			Dialect:      dialect.MySQL,
+			Fault:        info.ID,
+			MaxDatabases: 400,
+			BaseSeed:     1,
+			Oracles:      []string{oracle.ForFault(info)},
+		})
+	}
+	s := &Scheduler{Workers: 4}
+	swept := s.Sweep(context.Background(), campaigns)
+	for i, c := range campaigns {
+		got := canon(swept[i])
+		want := canon(RunContext(context.Background(), c))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: sweep vs individual run:\nsweep:      %+v\nindividual: %+v", c.Fault, got, want)
+		}
+	}
+}
+
+// TestRunCorpusContextCancellation verifies corpus sweeps honor
+// cancellation the way RunContext always has: the seed feed stops, and
+// every fault still reports a (partial) result.
+func TestRunCorpusContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := RunCorpusContext(ctx, dialect.SQLite, 100000, 1, false)
+	if want := len(faults.ForDialect(dialect.SQLite)); len(results) != want {
+		t.Fatalf("%d results, want one per fault (%d)", len(results), want)
+	}
+	total := 0
+	for _, r := range results {
+		if r.Detected {
+			t.Errorf("detection on cancelled sweep: %s", r.Campaign.Fault)
+		}
+		total += r.Databases
+	}
+	if total > 8 {
+		t.Errorf("cancelled sweep still ran %d databases", total)
+	}
+}
+
+// TestRunCorpusContextDeadline verifies a deadline interrupts a sweep
+// mid-flight with partial progress.
+func TestRunCorpusContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	results := RunCorpusContext(ctx, dialect.SQLite, 1000000, 1, false)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline ignored: sweep ran %v", elapsed)
+	}
+	total := 0
+	for _, r := range results {
+		total += r.Databases
+	}
+	if total == 0 {
+		t.Error("expected some databases before the deadline")
+	}
+}
+
+// TestSchedulerStealing shapes a sweep so stealing must happen for it to
+// finish promptly: with two workers and one task whose budget dwarfs the
+// other's, the worker whose partition drains first has to pull units from
+// the big task. The assertion is on completed work — every unit of both
+// tasks runs exactly once (database counts match budgets exactly, so no
+// unit was lost or duplicated by the steal path).
+func TestSchedulerStealing(t *testing.T) {
+	campaigns := []Campaign{
+		{Dialect: dialect.SQLite, MaxDatabases: 120, BaseSeed: 11}, // soundness: runs to budget
+		{Dialect: dialect.SQLite, MaxDatabases: 4, BaseSeed: 23},
+	}
+	s := &Scheduler{Workers: 2}
+	results := s.Sweep(context.Background(), campaigns)
+	for i, want := range []int{120, 4} {
+		if results[i].Databases != want {
+			t.Errorf("campaign %d ran %d databases, want exactly %d", i, results[i].Databases, want)
+		}
+		if results[i].Detected {
+			t.Errorf("campaign %d false positive", i)
+		}
+	}
+}

@@ -119,6 +119,15 @@ func NewCatalog() *Catalog {
 
 func key(name string) string { return strings.ToLower(name) }
 
+// Reset empties the catalog in place, keeping its map allocations (engine
+// lifecycle pooling: a reset database starts from a pristine catalog
+// without reallocating it).
+func (c *Catalog) Reset() {
+	clear(c.tables)
+	clear(c.indexes)
+	c.order = c.order[:0]
+}
+
 // Table resolves a table or view by name, case-insensitively.
 func (c *Catalog) Table(name string) (*Table, bool) {
 	t, ok := c.tables[key(name)]

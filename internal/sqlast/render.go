@@ -2,9 +2,11 @@ package sqlast
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/dialect"
+	"repro/internal/sqlval"
 )
 
 // SQL renders a statement as dialect-appropriate SQL text, terminated
@@ -35,19 +37,23 @@ func renderStmt(b *strings.Builder, s Stmt, d dialect.Dialect) {
 		if n.IfNotExists {
 			b.WriteString("IF NOT EXISTS ")
 		}
-		b.WriteString(n.Name)
+		writeIdent(b, n.Name)
 		b.WriteString(" AS ")
 		renderSelect(b, n.Select, d)
 	case *CreateStats:
-		fmt.Fprintf(b, "CREATE STATISTICS %s ON %s FROM %s",
-			n.Name, strings.Join(n.Columns, ", "), n.Table)
+		b.WriteString("CREATE STATISTICS ")
+		writeIdent(b, n.Name)
+		b.WriteString(" ON ")
+		writeIdentList(b, n.Columns)
+		b.WriteString(" FROM ")
+		writeIdent(b, n.Table)
 	case *Insert:
 		renderInsert(b, n, d)
 	case *Update:
 		renderUpdate(b, n, d)
 	case *Delete:
 		b.WriteString("DELETE FROM ")
-		b.WriteString(n.Table)
+		writeIdent(b, n.Table)
 		if n.Where != nil {
 			b.WriteString(" WHERE ")
 			renderExpr(b, n.Where, d)
@@ -66,7 +72,7 @@ func renderStmt(b *strings.Builder, s Stmt, d dialect.Dialect) {
 		if n.IfExists {
 			b.WriteString("IF EXISTS ")
 		}
-		b.WriteString(n.Name)
+		writeIdent(b, n.Name)
 	case *Select:
 		renderSelect(b, n, d)
 	case *Compound:
@@ -95,7 +101,7 @@ func renderCreateTable(b *strings.Builder, n *CreateTable, d dialect.Dialect) {
 	if n.IfNotExists {
 		b.WriteString("IF NOT EXISTS ")
 	}
-	b.WriteString(n.Name)
+	writeIdent(b, n.Name)
 	b.WriteString("(")
 	for i, c := range n.Columns {
 		if i > 0 {
@@ -105,7 +111,7 @@ func renderCreateTable(b *strings.Builder, n *CreateTable, d dialect.Dialect) {
 	}
 	if len(n.PrimaryKey) > 0 {
 		b.WriteString(", PRIMARY KEY (")
-		b.WriteString(strings.Join(n.PrimaryKey, ", "))
+		writeIdentList(b, n.PrimaryKey)
 		b.WriteString(")")
 	}
 	b.WriteString(")")
@@ -118,13 +124,13 @@ func renderCreateTable(b *strings.Builder, n *CreateTable, d dialect.Dialect) {
 	}
 	if n.Inherits != "" {
 		b.WriteString(" INHERITS (")
-		b.WriteString(n.Inherits)
+		writeIdent(b, n.Inherits)
 		b.WriteString(")")
 	}
 }
 
 func renderColumnDef(b *strings.Builder, c *ColumnDef, d dialect.Dialect) {
-	b.WriteString(c.Name)
+	writeIdent(b, c.Name)
 	if c.TypeName != "" {
 		b.WriteString(" ")
 		b.WriteString(c.TypeName)
@@ -166,9 +172,9 @@ func renderCreateIndex(b *strings.Builder, n *CreateIndex, d dialect.Dialect) {
 	if n.IfNotExists {
 		b.WriteString("IF NOT EXISTS ")
 	}
-	b.WriteString(n.Name)
+	writeIdent(b, n.Name)
 	b.WriteString(" ON ")
-	b.WriteString(n.Table)
+	writeIdent(b, n.Table)
 	b.WriteString("(")
 	for i, p := range n.Parts {
 		if i > 0 {
@@ -179,7 +185,7 @@ func renderCreateIndex(b *strings.Builder, n *CreateIndex, d dialect.Dialect) {
 		// (MaybeString) must keep their quotes through renderExpr or the
 		// round trip turns them into ordinary column references.
 		if c, ok := p.X.(*ColumnRef); ok && c.Table == "" && !c.MaybeString {
-			b.WriteString(c.Column)
+			writeIdent(b, c.Column)
 		} else if c, ok := p.X.(*ColumnRef); ok && c.MaybeString {
 			renderExpr(b, p.X, d)
 		} else if _, ok := p.X.(*Literal); ok && d == dialect.SQLite {
@@ -217,10 +223,10 @@ func renderInsert(b *strings.Builder, n *Insert, d dialect.Dialect) {
 		b.WriteString("OR REPLACE ")
 	}
 	b.WriteString("INTO ")
-	b.WriteString(n.Table)
+	writeIdent(b, n.Table)
 	if len(n.Columns) > 0 {
 		b.WriteString("(")
-		b.WriteString(strings.Join(n.Columns, ", "))
+		writeIdentList(b, n.Columns)
 		b.WriteString(")")
 	}
 	b.WriteString(" VALUES ")
@@ -244,13 +250,13 @@ func renderUpdate(b *strings.Builder, n *Update, d dialect.Dialect) {
 	if n.Conflict == ConflictReplace {
 		b.WriteString("OR REPLACE ")
 	}
-	b.WriteString(n.Table)
+	writeIdent(b, n.Table)
 	b.WriteString(" SET ")
 	for i, a := range n.Sets {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		b.WriteString(a.Column)
+		writeIdent(b, a.Column)
 		b.WriteString(" = ")
 		renderExpr(b, a.Value, d)
 	}
@@ -262,16 +268,16 @@ func renderUpdate(b *strings.Builder, n *Update, d dialect.Dialect) {
 
 func renderAlter(b *strings.Builder, n *AlterTable, d dialect.Dialect) {
 	b.WriteString("ALTER TABLE ")
-	b.WriteString(n.Table)
+	writeIdent(b, n.Table)
 	switch n.Action {
 	case AlterRenameTable:
 		b.WriteString(" RENAME TO ")
-		b.WriteString(n.NewName)
+		writeIdent(b, n.NewName)
 	case AlterRenameColumn:
 		b.WriteString(" RENAME COLUMN ")
-		b.WriteString(n.OldName)
+		writeIdent(b, n.OldName)
 		b.WriteString(" TO ")
-		b.WriteString(n.NewName)
+		writeIdent(b, n.NewName)
 	case AlterAddColumn:
 		b.WriteString(" ADD COLUMN ")
 		renderColumnDef(b, &n.Column, d)
@@ -294,7 +300,7 @@ func renderSelect(b *strings.Builder, n *Select, d dialect.Dialect) {
 		renderExpr(b, c.X, d)
 		if c.Alias != "" {
 			b.WriteString(" AS ")
-			b.WriteString(c.Alias)
+			writeIdent(b, c.Alias)
 		}
 	}
 	if len(n.From) > 0 {
@@ -364,10 +370,10 @@ func renderTableRef(b *strings.Builder, t *TableRef) {
 	if t.Only {
 		b.WriteString("ONLY ")
 	}
-	b.WriteString(t.Name)
+	writeIdent(b, t.Name)
 	if t.Alias != "" {
 		b.WriteString(" AS ")
-		b.WriteString(t.Alias)
+		writeIdent(b, t.Alias)
 	}
 }
 
@@ -381,23 +387,23 @@ func renderMaintenance(b *strings.Builder, n *Maintenance, d dialect.Dialect) {
 		b.WriteString("REINDEX")
 		if n.Table != "" {
 			b.WriteString(" ")
-			b.WriteString(n.Table)
+			writeIdent(b, n.Table)
 		}
 	case MaintAnalyze:
 		b.WriteString("ANALYZE")
 		if n.Table != "" {
 			b.WriteString(" ")
-			b.WriteString(n.Table)
+			writeIdent(b, n.Table)
 		}
 	case MaintRepairTable:
 		b.WriteString("REPAIR TABLE ")
-		b.WriteString(n.Table)
+		writeIdent(b, n.Table)
 	case MaintCheckTable:
 		b.WriteString("CHECK TABLE ")
-		b.WriteString(n.Table)
+		writeIdent(b, n.Table)
 	case MaintCheckTableForUpgrade:
 		b.WriteString("CHECK TABLE ")
-		b.WriteString(n.Table)
+		writeIdent(b, n.Table)
 		b.WriteString(" FOR UPGRADE")
 	case MaintDiscard:
 		b.WriteString("DISCARD PLANS")
@@ -413,12 +419,28 @@ func renderSetOption(b *strings.Builder, n *SetOption, d dialect.Dialect) {
 			b.WriteString("GLOBAL ")
 		}
 	}
-	b.WriteString(n.Name)
+	writeIdent(b, n.Name)
 	// A nil value is the query form (`PRAGMA name` / `SET name`).
 	if n.Value != nil {
 		b.WriteString(" = ")
 		renderExpr(b, n.Value, d)
 	}
+}
+
+// negatedLiteral returns the negation of an int/real literal value when
+// that is exact (MinInt64 has no int64 negation; other kinds coerce
+// dialect-specifically and must stay as unary expressions).
+func negatedLiteral(v sqlval.Value) (sqlval.Value, bool) {
+	switch v.Kind() {
+	case sqlval.KInt:
+		if v.Int64() == math.MinInt64 {
+			return v, false
+		}
+		return sqlval.Int(-v.Int64()), true
+	case sqlval.KReal:
+		return sqlval.Real(-v.Float64()), true
+	}
+	return v, false
 }
 
 // binOpToken returns the SQL spelling of a binary operator for the dialect.
@@ -493,10 +515,10 @@ func renderExpr(b *strings.Builder, e Expr, d dialect.Dialect) {
 			return
 		}
 		if n.Table != "" {
-			b.WriteString(n.Table)
+			writeIdent(b, n.Table)
 			b.WriteString(".")
 		}
-		b.WriteString(n.Column)
+		writeIdent(b, n.Column)
 	case *Unary:
 		switch n.Op {
 		case OpNot:
@@ -504,6 +526,17 @@ func renderExpr(b *strings.Builder, e Expr, d dialect.Dialect) {
 			renderExpr(b, n.X, d)
 			b.WriteString(")")
 		case OpNeg:
+			// Fold negation of a numeric literal into the literal: the
+			// parser folds `- 5` to -5 on reparse, so rendering the
+			// unfolded form would not be idempotent. Negating Int (except
+			// MinInt64) and Real literals is exact in every dialect and
+			// hooked by no fault, so the fold is semantics-preserving.
+			if lit, ok := n.X.(*Literal); ok {
+				if v, ok := negatedLiteral(lit.Val); ok {
+					b.WriteString(v.Literal())
+					return
+				}
+			}
 			b.WriteString("(- ")
 			renderExpr(b, n.X, d)
 			b.WriteString(")")

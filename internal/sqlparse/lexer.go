@@ -16,6 +16,7 @@ type tokKind uint8
 const (
 	tokEOF tokKind = iota
 	tokIdent
+	tokQuotedIdent  // `...` — always an identifier, never a keyword (MySQL style)
 	tokDoubleQuoted // "..." — identifier or string depending on context (SQLite misfeature)
 	tokString       // '...'
 	tokBlob         // x'hex'
@@ -149,7 +150,11 @@ func lex(src string) ([]token, error) {
 			}
 			kind := tokDoubleQuoted
 			if quote == '`' {
-				kind = tokIdent // backtick is always an identifier (MySQL)
+				// Backtick is always an identifier (MySQL), and the quoting
+				// survives into the token kind: a quoted keyword or
+				// digit-leading name must stay an identifier when parsed,
+				// or the renderer's quoting could never round-trip it.
+				kind = tokQuotedIdent
 			}
 			toks = append(toks, token{kind: kind, text: sb.String(), pos: start})
 		default:

@@ -120,7 +120,7 @@ func (p *parser) expectOp(op string) error {
 
 func (p *parser) expectIdent() (string, error) {
 	t := p.peek()
-	if t.kind == tokIdent || t.kind == tokDoubleQuoted {
+	if t.kind == tokIdent || t.kind == tokQuotedIdent || t.kind == tokDoubleQuoted {
 		p.pos++
 		return t.text, nil
 	}
@@ -166,7 +166,8 @@ func (p *parser) parseStmt() (sqlast.Stmt, error) {
 	case "REINDEX":
 		p.next()
 		m := &sqlast.Maintenance{Op: sqlast.MaintReindex}
-		if tt := p.peek(); tt.kind == tokIdent && !reservedAfterExpr[strings.ToUpper(tt.text)] {
+		if tt := p.peek(); tt.kind == tokQuotedIdent ||
+			tt.kind == tokIdent && !reservedAfterExpr[strings.ToUpper(tt.text)] {
 			m.Table = tt.text
 			p.next()
 		}
@@ -174,7 +175,7 @@ func (p *parser) parseStmt() (sqlast.Stmt, error) {
 	case "ANALYZE":
 		p.next()
 		m := &sqlast.Maintenance{Op: sqlast.MaintAnalyze}
-		if tt := p.peek(); tt.kind == tokIdent {
+		if tt := p.peek(); tt.kind == tokIdent || tt.kind == tokQuotedIdent {
 			m.Table = tt.text
 			p.next()
 		}
@@ -845,7 +846,8 @@ func (p *parser) parseSelect() (sqlast.Stmt, error) {
 					return nil, err
 				}
 				rc.Alias = alias
-			} else if t := p.peek(); t.kind == tokIdent && !reservedAfterExpr[strings.ToUpper(t.text)] && !isStmtBoundary(t.text) {
+			} else if t := p.peek(); t.kind == tokQuotedIdent ||
+				t.kind == tokIdent && !reservedAfterExpr[strings.ToUpper(t.text)] && !isStmtBoundary(t.text) {
 				rc.Alias = t.text
 				p.next()
 			}
@@ -992,7 +994,8 @@ func (p *parser) parseTableRef() (sqlast.TableRef, error) {
 			return tr, err
 		}
 		tr.Alias = alias
-	} else if t := p.peek(); t.kind == tokIdent && !reservedAfterExpr[strings.ToUpper(t.text)] && !isStmtBoundary(t.text) {
+	} else if t := p.peek(); t.kind == tokQuotedIdent ||
+		t.kind == tokIdent && !reservedAfterExpr[strings.ToUpper(t.text)] && !isStmtBoundary(t.text) {
 		tr.Alias = t.text
 		p.next()
 	}
@@ -1367,7 +1370,12 @@ func (p *parser) parsePrimary() (sqlast.Expr, error) {
 		p.next()
 		f, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
-			return nil, errf(t.pos, "bad numeric literal %q", t.text)
+			// Out-of-range literals saturate to ±Inf, the way SQLite
+			// accepts 9e999 (which is also how ±Inf renders — the
+			// round-trip fixed point depends on reading it back).
+			if ne, ok := err.(*strconv.NumError); !ok || ne.Err != strconv.ErrRange {
+				return nil, errf(t.pos, "bad numeric literal %q", t.text)
+			}
 		}
 		return sqlast.Lit(sqlval.Real(f)), nil
 	case tokString:
@@ -1386,6 +1394,19 @@ func (p *parser) parsePrimary() (sqlast.Expr, error) {
 			return sqlast.Lit(sqlval.Text(t.text)), nil
 		}
 		return &sqlast.ColumnRef{Column: t.text, MaybeString: p.d == dialect.SQLite}, nil
+	case tokQuotedIdent:
+		// `...` is a strict identifier in every dialect profile: a column
+		// reference regardless of content (keywords, digits, spaces),
+		// optionally table-qualified.
+		p.next()
+		if p.acceptOp(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return sqlast.Col(t.text, col), nil
+		}
+		return sqlast.Col("", t.text), nil
 	case tokOp:
 		if t.text == "(" {
 			p.next()

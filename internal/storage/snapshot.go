@@ -1,0 +1,118 @@
+package storage
+
+import "repro/internal/sqlval"
+
+// Copy-on-write snapshots. Snapshot() captures the row-pointer / entry
+// slice (a shallow copy — row values are never duplicated) and arms a cow
+// flag; the one mutation that writes *through* shared row pointers
+// (AddColumn) clones the affected rows first. Restore() brings the
+// structure back to the captured state without reallocating its container
+// map, so a snapshot/restore cycle in a hot loop costs a slice copy plus
+// a map rebuild, never a deep copy of the stored values.
+//
+// Row value slices are immutable throughout the engine (UPDATE removes
+// the old row and stores a fresh one), so sharing *Row pointers between a
+// snapshot and the live heap is sound; index entry keys are likewise
+// never mutated after insertion.
+
+// TableSnapshot is a point-in-time capture of one TableData.
+type TableSnapshot struct {
+	rows      []*Row
+	nextRowid int64
+}
+
+// Rows reports how many rows the snapshot captured.
+func (s *TableSnapshot) Rows() int { return len(s.rows) }
+
+// Snapshot captures the heap's current state: a shallow copy of the row
+// pointers (the snapshot owns its backing array, so later inserts and
+// deletes on the live heap never disturb it).
+func (t *TableData) Snapshot() *TableSnapshot {
+	rows := make([]*Row, len(t.rows))
+	copy(rows, t.rows)
+	t.cow = true
+	return &TableSnapshot{rows: rows, nextRowid: t.nextRowid}
+}
+
+// Restore rewinds the heap to a snapshot taken from it. The byRowid map
+// is rebuilt in place (cleared, not reallocated), and the snapshot stays
+// valid for repeated restores.
+func (t *TableData) Restore(s *TableSnapshot) {
+	if cap(t.rows) >= len(s.rows) {
+		t.rows = t.rows[:len(s.rows)]
+	} else {
+		t.rows = make([]*Row, len(s.rows))
+	}
+	copy(t.rows, s.rows)
+	t.nextRowid = s.nextRowid
+	clear(t.byRowid)
+	for _, r := range t.rows {
+		t.byRowid[r.Rowid] = r
+	}
+	t.cow = true
+}
+
+// Reset empties the heap, keeping the rows slice capacity and the byRowid
+// map allocation for reuse (engine lifecycle pooling).
+func (t *TableData) Reset() {
+	t.rows = t.rows[:0]
+	clear(t.byRowid)
+	t.nextRowid = 1
+	t.cow = false
+}
+
+// unshare clones every row before an in-place mutation of row contents
+// (AddColumn appends to each row's value slice), so rows captured by a
+// snapshot keep their original width.
+func (t *TableData) unshare() {
+	if !t.cow {
+		return
+	}
+	for i, r := range t.rows {
+		c := r.Clone()
+		t.rows[i] = c
+		t.byRowid[c.Rowid] = c
+	}
+	t.cow = false
+}
+
+// IndexSnapshot is a point-in-time capture of one IndexData.
+type IndexSnapshot struct {
+	colls   []sqlval.Collation
+	descs   []bool
+	entries []IndexEntry
+}
+
+// Len reports how many entries the snapshot captured.
+func (s *IndexSnapshot) Len() int { return len(s.entries) }
+
+// Snapshot captures the index's current state: a shallow copy of the
+// entries (keys are shared — they are never mutated after insertion) plus
+// the part collations, which REINDEX faults deliberately swap and a
+// restore must swap back. SetCollations installs a fresh slice rather
+// than mutating in place, so capturing colls by reference is sound.
+func (ix *IndexData) Snapshot() *IndexSnapshot {
+	entries := make([]IndexEntry, len(ix.entries))
+	copy(entries, ix.entries)
+	return &IndexSnapshot{colls: ix.colls, descs: ix.descs, entries: entries}
+}
+
+// Restore rewinds the index to a snapshot taken from it.
+func (ix *IndexData) Restore(s *IndexSnapshot) {
+	if cap(ix.entries) >= len(s.entries) {
+		ix.entries = ix.entries[:len(s.entries)]
+	} else {
+		ix.entries = make([]IndexEntry, len(s.entries))
+	}
+	copy(ix.entries, s.entries)
+	ix.colls = s.colls
+	ix.descs = s.descs
+}
+
+// Reset empties the index and installs new part collations/directions,
+// keeping the entries capacity for reuse (engine lifecycle pooling).
+func (ix *IndexData) Reset(colls []sqlval.Collation, descs []bool) {
+	ix.entries = ix.entries[:0]
+	ix.colls = colls
+	ix.descs = descs
+}

@@ -30,6 +30,10 @@ type TableData struct {
 	rows      []*Row
 	byRowid   map[int64]*Row
 	nextRowid int64
+	// cow marks the rows slice as shared with a live TableSnapshot:
+	// mutations that write inside the shared prefix copy it first
+	// (appends past the snapshot length are safe without copying).
+	cow bool
 }
 
 // NewTableData returns an empty heap.
@@ -107,6 +111,7 @@ func (t *TableData) DeleteLast() bool {
 
 // AddColumn extends every row with a value for a newly added column.
 func (t *TableData) AddColumn(def sqlval.Value) {
+	t.unshare()
 	for _, r := range t.rows {
 		r.Vals = append(r.Vals, def)
 	}

@@ -77,6 +77,21 @@ func (d *DB) ExecAST(st sqlast.Stmt) (*sut.Result, error) {
 	return convert(d.e.ExecStmt(st))
 }
 
+// Reset implements sut.Resetter: the engine rewinds to the pristine state
+// of a fresh Open without reallocating its long-lived structures, so
+// pooled campaign lifecycles reuse one engine across databases.
+func (d *DB) Reset() error {
+	d.e.Reset()
+	return nil
+}
+
+// Snapshot captures the engine's data state copy-on-write (dbshell's
+// .snapshot meta command; valid until the next schema change).
+func (d *DB) Snapshot() *engine.Snapshot { return d.e.Snapshot() }
+
+// RestoreSnapshot rewinds the engine's data to a snapshot taken from it.
+func (d *DB) RestoreSnapshot(s *engine.Snapshot) error { return d.e.Restore(s) }
+
 // Plan implements sut.DB.
 func (d *DB) Plan(sql string) ([]string, error) {
 	paths, err := d.e.PlanSQL(sql)

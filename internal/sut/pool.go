@@ -1,0 +1,98 @@
+package sut
+
+import "sync"
+
+// Resetter is the optional capability a backend implements when its
+// databases can be rewound to the pristine state of a fresh Open without
+// reallocating: Reset must leave the DB indistinguishable (to the tester
+// stack) from a newly opened session. Backends without it are still
+// poolable — the pool falls back to close-and-reopen.
+type Resetter interface {
+	Reset() error
+}
+
+// ResetDB restores db to a pristine session: in place when the backend
+// supports Reset, otherwise by closing it and opening a replacement on
+// the same backend and session. The returned DB is the one to keep using.
+func ResetDB(backend string, db DB) (DB, error) {
+	if r, ok := db.(Resetter); ok {
+		if err := r.Reset(); err == nil {
+			return db, nil
+		}
+	}
+	sess := db.Session()
+	_ = db.Close()
+	return Open(backend, sess)
+}
+
+// Pool reuses databases of one backend+session across lifecycles, so a
+// campaign scheduler pays for engine construction once per worker instead
+// of once per database. Acquire returns a pristine DB (a reset idle one,
+// or a fresh Open); Release parks it for the next Acquire. The pool is
+// safe for concurrent use.
+type Pool struct {
+	backend string
+	sess    Session
+
+	mu   sync.Mutex
+	idle []DB
+}
+
+// NewPool creates a pool that opens databases on the named backend (""
+// selects DefaultBackend) with the given session options.
+func NewPool(backend string, s Session) *Pool {
+	return &Pool{backend: backend, sess: s}
+}
+
+// Session reports the session the pool opens databases with.
+func (p *Pool) Session() Session { return p.sess }
+
+// Acquire returns a pristine database: an idle pooled one reset in place,
+// or a fresh Open when the pool is empty.
+func (p *Pool) Acquire() (DB, error) {
+	p.mu.Lock()
+	var db DB
+	if n := len(p.idle); n > 0 {
+		db = p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+	}
+	p.mu.Unlock()
+	if db == nil {
+		return Open(p.backend, p.sess)
+	}
+	return ResetDB(p.backend, db)
+}
+
+// Release parks a database for reuse. Databases that cannot be reset are
+// closed instead of pooled (reopening costs the same as resetting them
+// would).
+func (p *Pool) Release(db DB) {
+	if db == nil {
+		return
+	}
+	if _, ok := db.(Resetter); !ok {
+		_ = db.Close()
+		return
+	}
+	p.mu.Lock()
+	p.idle = append(p.idle, db)
+	p.mu.Unlock()
+}
+
+// Close closes every idle database. In-flight databases handed out by
+// Acquire are the caller's to close (or Release after Close, which pools
+// them for nothing but leaks nothing — engines are garbage-collected).
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	var first error
+	for _, db := range idle {
+		if err := db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
