@@ -30,6 +30,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sqlparse"
+	"repro/internal/storage/pager"
 	"repro/internal/sut"
 	"repro/internal/sut/memengine"
 )
@@ -1067,4 +1068,84 @@ func BenchmarkAblationQueriesPerDB(b *testing.B) {
 			b.ReportMetric(float64(q), "queries/db")
 		})
 	}
+}
+
+// BenchmarkPagerThroughput compares campaign throughput on the default
+// in-memory storage against the durable pager backend, whose every
+// statement pays image serialization, WAL append, and fsync. The gap is
+// the price of crash-recovery testing; the CI -benchtime=1x smoke keeps
+// it visible across PRs.
+func BenchmarkPagerThroughput(b *testing.B) {
+	for _, storage := range []string{"memory", "pager"} {
+		storage := storage
+		b.Run(storage, func(b *testing.B) {
+			for _, d := range dialect.All {
+				d := d
+				b.Run(d.String(), func(b *testing.B) {
+					b.Setenv("TMPDIR", b.TempDir())
+					tester := core.NewTester(core.Config{
+						Dialect:      d,
+						Seed:         1,
+						QueriesPerDB: 20,
+						Storage:      storage,
+					})
+					b.ResetTimer()
+					start := time.Now()
+					for i := 0; i < b.N; i++ {
+						if _, err := tester.RunDatabase(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					elapsed := time.Since(start).Seconds()
+					if elapsed > 0 {
+						b.ReportMetric(float64(b.N)/elapsed, "dbs/s")
+						b.ReportMetric(float64(tester.Stats().Statements)/elapsed, "stmts/s")
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkWALRecovery measures crash recovery: opening a pager whose
+// WAL holds many uncheckpointed committed transactions, replaying them,
+// and loading the restored image. The WAL is seeded once; each iteration
+// abandons its pager with a simulated power cut (which closes the files
+// without the checkpoint a clean Close would run), so every Open replays
+// the identical WAL.
+func BenchmarkWALRecovery(b *testing.B) {
+	const commits = 32
+	dir := b.TempDir()
+	seed, err := pager.Open(pager.OS(), dir, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed.CheckpointBytes = 1 << 30 // keep every commit in the WAL
+	img := make([]byte, 16*pager.PagePayload)
+	for i := 0; i < commits; i++ {
+		for j := range img {
+			img[j] = byte(i + j)
+		}
+		if err := seed.Commit(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+	seed.Crash(pager.CrashPlan{Point: pager.AfterSync, Mode: pager.LostTail})
+
+	b.SetBytes(int64(commits * len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := pager.Open(pager.OS(), dir, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := p.Stats().Recoveries; got != commits {
+			b.Fatalf("replayed %d commits, want %d", got, commits)
+		}
+		if _, err := p.Load(); err != nil {
+			b.Fatal(err)
+		}
+		p.Crash(pager.CrashPlan{Point: pager.AfterSync, Mode: pager.LostTail})
+	}
+	b.ReportMetric(float64(commits), "commits/recovery")
 }

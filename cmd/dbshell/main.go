@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	dbshell -dialect sqlite [-backend memengine|wire] [-fault sqlite.partial-index-not-null] [-no-compile]
+//	dbshell -dialect sqlite [-backend memengine|wire] [-storage pager] [-fault sqlite.partial-index-not-null] [-no-compile]
 //
 // Statements end with ';'. Meta commands: .tables, .schema <t>,
 // .plan <select>, .oracle <name>, .snapshot, .restore, .reset,
-// .timer [on|off], .backend, .quit.
+// .storage, .timer [on|off], .backend, .quit.
 // `.snapshot` captures the database's data copy-on-write and `.restore`
 // rewinds to it (fixed schema; handy for replaying DML against an
 // injected fault), while `.reset` rewinds the whole database to the
@@ -17,8 +17,11 @@
 // per-statement wall time — combined with -no-compile it A/B-tests
 // compiled expression programs against the tree-walk interpreter.
 // `.oracle <name>` runs one-shot checks of a registered testing oracle
-// (pqs, tlp, norec) against the shell's current database — handy for
-// watching an injected fault (-fault) get caught interactively.
+// (pqs, tlp, norec, recovery) against the shell's current database —
+// handy for watching an injected fault (-fault) get caught interactively.
+// `-storage pager` opens the shell's database on the durable page-file +
+// WAL backend (the recovery oracle requires it); `.storage` prints the
+// storage mode and the pager's work counters.
 package main
 
 import (
@@ -37,6 +40,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/oracle"
+	"repro/internal/storage/pager"
 	"repro/internal/sut"
 	_ "repro/internal/sut/memengine"
 	_ "repro/internal/sut/wire"
@@ -49,6 +53,7 @@ func main() {
 		faultFlag   = flag.String("fault", "", "comma-separated faults to inject")
 		noPlanner   = flag.Bool("no-planner", false, "disable index access paths")
 		noCompile   = flag.Bool("no-compile", false, "disable compiled expression programs (tree-walk evaluation)")
+		storageFlag = flag.String("storage", "", "storage mode: memory (default) or pager (durable page file + WAL)")
 	)
 	flag.Parse()
 
@@ -57,7 +62,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sess := sut.Session{Dialect: d, NoPlanner: *noPlanner, NoCompile: *noCompile}
+	sess := sut.Session{Dialect: d, NoPlanner: *noPlanner, NoCompile: *noCompile, Storage: *storageFlag}
 	if *faultFlag != "" {
 		fs := faults.NewSet()
 		for _, name := range strings.Split(*faultFlag, ",") {
@@ -175,6 +180,20 @@ func meta(db sut.DB, backend, cmd string) bool {
 			return true
 		}
 		fmt.Println("data restored")
+	case cmd == ".storage":
+		ps, ok := db.(pagerStats)
+		if !ok {
+			fmt.Println("storage: memory")
+			return true
+		}
+		st, durable := ps.PagerStats()
+		if !durable {
+			fmt.Println("storage: memory")
+			return true
+		}
+		fmt.Println("storage: pager (durable page file + WAL)")
+		fmt.Printf("  commits=%d wal-frames=%d checkpoints=%d recoveries=%d cache-hits=%d cache-misses=%d\n",
+			st.Commits, st.WalFrames, st.Checkpoints, st.Recoveries, st.CacheHits, st.CacheMisses)
 	case strings.HasPrefix(cmd, ".oracle"):
 		runOracle(db, strings.TrimSpace(strings.TrimPrefix(cmd, ".oracle")))
 	case strings.HasPrefix(cmd, ".timer"):
@@ -191,7 +210,7 @@ func meta(db sut.DB, backend, cmd string) bool {
 		}
 		fmt.Printf("timer %s\n", map[bool]string{true: "on", false: "off"}[timerOn])
 	default:
-		fmt.Println("meta commands: .tables, .schema <t>, .plan <select>, .oracle <name>, .snapshot, .restore, .reset, .timer [on|off], .backend, .quit")
+		fmt.Println("meta commands: .tables, .schema <t>, .plan <select>, .oracle <name>, .snapshot, .restore, .reset, .storage, .timer [on|off], .backend, .quit")
 	}
 	return true
 }
@@ -201,6 +220,12 @@ func meta(db sut.DB, backend, cmd string) bool {
 type snapshotter interface {
 	Snapshot() *engine.Snapshot
 	RestoreSnapshot(*engine.Snapshot) error
+}
+
+// pagerStats is the optional backend capability behind .storage: durable
+// sessions report the pager's work counters.
+type pagerStats interface {
+	PagerStats() (pager.Stats, bool)
 }
 
 // savedSnapshot is the shell's one snapshot slot.

@@ -10,6 +10,7 @@
 //	sqlancer-go -dialect mysql -mode fuzz -max-dbs 200
 //	sqlancer-go -mode diff -dialect sqlite -right postgres
 //	sqlancer-go -backend wire -dialect sqlite -fault sqlite.partial-index-not-null
+//	sqlancer-go -storage pager -oracle recovery -fault pager.wal-lost-flush
 //	sqlancer-go -list-faults
 //
 // -corpus sweeps every registered fault of the dialect in one run: all
@@ -28,6 +29,13 @@
 // parser coverage. -no-compile disables compiled expression programs so
 // A/B runs can compare the tree-walk evaluator (see DESIGN.md "Compiled
 // expression programs" and "Metamorphic oracles").
+//
+// -storage pager runs every session on the durable page-file + WAL
+// backend instead of in memory. The recovery-equivalence oracle
+// (-oracle recovery, or any pager.* fault in a -corpus sweep) requires
+// it and enables it automatically; passing it explicitly subjects any
+// other campaign to the durable storage path too (see DESIGN.md
+// "Durable storage & crash recovery").
 package main
 
 import (
@@ -65,6 +73,7 @@ func main() {
 		doReduce    = flag.Bool("reduce", true, "reduce detected test cases")
 		oracleFlag  = flag.String("oracle", "pqs", "comma-separated testing oracles to rotate across databases: pqs, tlp, norec")
 		backend     = flag.String("backend", sut.DefaultBackend, "SUT backend: memengine, wire")
+		storageFlag = flag.String("storage", "", "storage mode: memory (default) or pager (durable page file + WAL; required by the recovery oracle)")
 		wireFid     = flag.Bool("wire-fidelity", false, "render+reparse each statement instead of the AST fast path")
 		noCompile   = flag.Bool("no-compile", false, "disable compiled expression programs (tree-walk evaluation)")
 		corpusFlag  = flag.Bool("corpus", false, "sweep every registered fault of the dialect through one shared scheduler pool (-max-dbs is the per-fault budget)")
@@ -102,15 +111,16 @@ func main() {
 			Backend:      *backend,
 			WireFidelity: *wireFid,
 			NoCompile:    *noCompile,
+			Storage:      *storageFlag,
 		})
 		return
 	}
 
 	switch *mode {
 	case "pqs":
-		runPQS(d, *faultFlag, *backend, *wireFid, *noCompile, *maxDBs, *workers, *seed, *rows, *depth, *queries, *doReduce, parseOracles(*oracleFlag))
+		runPQS(d, *faultFlag, *backend, *storageFlag, *wireFid, *noCompile, *maxDBs, *workers, *seed, *rows, *depth, *queries, *doReduce, parseOracles(*oracleFlag))
 	case "fuzz":
-		runFuzz(d, *faultFlag, *backend, *wireFid, *noCompile, *maxDBs, *seed, *queries)
+		runFuzz(d, *faultFlag, *backend, *storageFlag, *wireFid, *noCompile, *maxDBs, *seed, *queries)
 	case "diff":
 		if *wireFid {
 			// The differential baseline is already string-based end to
@@ -121,6 +131,10 @@ func main() {
 			// diffdb opens its own sessions and does not plumb engine
 			// options; reject rather than silently ignore.
 			fatal(fmt.Errorf("-no-compile does not apply to -mode diff"))
+		}
+		if *storageFlag != "" && *storageFlag != "memory" {
+			// Same reason: diffdb sessions are not storage-configurable.
+			fatal(fmt.Errorf("-storage does not apply to -mode diff"))
 		}
 		r, err := dialect.Parse(*rightFlag)
 		if err != nil {
@@ -167,7 +181,7 @@ func parseOracles(list string) []string {
 	return out
 }
 
-func runPQS(d dialect.Dialect, faultName, backend string, wireFid, noCompile bool, maxDBs, workers int, seed int64, rows, depth, queries int, doReduce bool, oracles []string) {
+func runPQS(d dialect.Dialect, faultName, backend, storage string, wireFid, noCompile bool, maxDBs, workers int, seed int64, rows, depth, queries int, doReduce bool, oracles []string) {
 	res := runner.Run(runner.Campaign{
 		Dialect:      d,
 		Fault:        parseFault(faultName),
@@ -183,6 +197,7 @@ func runPQS(d dialect.Dialect, faultName, backend string, wireFid, noCompile boo
 			Backend:      backend,
 			WireFidelity: wireFid,
 			NoCompile:    noCompile,
+			Storage:      storage,
 		},
 	})
 	fmt.Printf("dialect=%s fault=%s oracles=%s databases=%d statements=%d queries=%d elapsed=%s\n",
@@ -227,13 +242,13 @@ func runCorpus(d dialect.Dialect, maxDBs, workers int, seed int64, doReduce bool
 		detected, len(results), databases, time.Since(start).Round(time.Millisecond))
 }
 
-func runFuzz(d dialect.Dialect, faultName, backend string, wireFid, noCompile bool, maxDBs int, seed int64, queries int) {
+func runFuzz(d dialect.Dialect, faultName, backend, storage string, wireFid, noCompile bool, maxDBs int, seed int64, queries int) {
 	var fs *faults.Set
 	if f := parseFault(faultName); f != "" {
 		fs = faults.NewSet(f)
 	}
 	for i := 0; i < maxDBs; i++ {
-		f := fuzz.New(fuzz.Config{Dialect: d, Seed: seed + int64(i), Faults: fs, QueriesPerDB: queries, Backend: backend, WireFidelity: wireFid, NoCompile: noCompile})
+		f := fuzz.New(fuzz.Config{Dialect: d, Seed: seed + int64(i), Faults: fs, QueriesPerDB: queries, Backend: backend, WireFidelity: wireFid, NoCompile: noCompile, Storage: storage})
 		bug, err := f.RunDatabase()
 		if err != nil {
 			fatal(err)

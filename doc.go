@@ -31,6 +31,17 @@
 // tree-walk interpreter for A/B runs. See DESIGN.md "Compiled expression
 // programs".
 //
+// Databases can live on a durable storage backend
+// (internal/storage/pager): a page file plus write-ahead log with
+// checksummed pages, crash recovery on open, and simulated-power-cut
+// fault injection over deterministic, seed-replayable crash plans. The
+// `recovery` oracle crashes databases mid-commit and checks that
+// recovery restores exactly the committed (or atomically pre-statement)
+// state; three injectable durability faults give it ground truth. Select
+// it with `sqlancer-go -storage pager -oracle recovery`; dbshell's
+// `.storage` prints the pager's work counters. See DESIGN.md "Durable
+// storage & crash recovery".
+//
 // Campaigns execute on a shared work-stealing scheduler
 // (runner.Scheduler) over pooled, resettable engine lifecycles: the
 // engine's Reset/Snapshot facilities and sut.Pool let one engine serve

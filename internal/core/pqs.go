@@ -39,6 +39,10 @@ type Config struct {
 	// Backend names the sut driver databases are opened on ("" selects
 	// sut.DefaultBackend, the in-process engine).
 	Backend string
+	// Storage selects the backend's storage mode: "" or "memory" for the
+	// in-memory heap, "pager" for the durable page-file + WAL backend
+	// (required by the "recovery" oracle; see sut.Session.Storage).
+	Storage string
 	// Oracle selects the testing oracle for the query phase of each
 	// database lifecycle: "" or "pqs" runs the native pivot loop (Figure
 	// 1); any other name resolves through the internal/oracle registry
@@ -203,6 +207,7 @@ func (c Config) Session() sut.Session {
 		Faults:       c.Faults,
 		WireFidelity: c.WireFidelity,
 		NoCompile:    c.NoCompile,
+		Storage:      c.Storage,
 	}
 }
 

@@ -7,6 +7,11 @@
 //	db, _ := sql.Open("pqs", "mysql?fault=mysql.double-negation,mysql.set-option-error")
 //	db, _ := sql.Open("pqs", "sqlite?planner=off")
 //	db, _ := sql.Open("pqs", "sqlite?compile=off")
+//	db, _ := sql.Open("pqs", "sqlite?storage=pager")
+//
+// storage=pager opens the connection on the durable page-file + WAL
+// backend in a private temp directory (removed when the connection
+// closes) instead of the default in-memory heap.
 //
 // Repeated fault= parameters merge into one set. The driver supports
 // plain statements only (no placeholders); transactions are accepted as
@@ -20,6 +25,7 @@ import (
 	"database/sql/driver"
 	"fmt"
 	"io"
+	"os"
 	"reflect"
 	"strings"
 
@@ -27,6 +33,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/sqlval"
+	"repro/internal/storage/pager"
 )
 
 func init() {
@@ -44,6 +51,7 @@ func (*Driver) Open(dsn string) (driver.Conn, error) {
 		return nil, err
 	}
 	var opts []engine.Option
+	var storage string
 	var fs *faults.Set // repeated fault= parameters merge into one set
 	if query != "" {
 		for _, kv := range strings.Split(query, "&") {
@@ -76,6 +84,14 @@ func (*Driver) Open(dsn string) (driver.Conn, error) {
 				default:
 					return nil, fmt.Errorf("pqs driver: compile=%q (want on or off)", v)
 				}
+			case "storage":
+				switch v {
+				case "memory": // the default; accepted for symmetry
+				case "pager":
+					storage = v
+				default:
+					return nil, fmt.Errorf("pqs driver: storage=%q (want memory or pager)", v)
+				}
 			default:
 				return nil, fmt.Errorf("pqs driver: unknown DSN parameter %q", k)
 			}
@@ -84,11 +100,26 @@ func (*Driver) Open(dsn string) (driver.Conn, error) {
 	if fs != nil {
 		opts = append(opts, engine.WithFaults(fs))
 	}
+	if storage == "pager" {
+		dir, err := os.MkdirTemp("", "pager-")
+		if err != nil {
+			return nil, fmt.Errorf("pqs driver: temp dir: %v", err)
+		}
+		e, err := engine.OpenDurable(d, pager.NewSim(pager.OS()), dir, opts...)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		return &conn{e: e, ownDir: dir}, nil
+	}
 	return &conn{e: engine.Open(d, opts...)}, nil
 }
 
 type conn struct {
 	e *engine.Engine
+	// ownDir is a durable connection's private database directory,
+	// removed on Close.
+	ownDir string
 }
 
 // Prepare implements driver.Conn.
@@ -96,8 +127,18 @@ func (c *conn) Prepare(query string) (driver.Stmt, error) {
 	return &stmt{c: c, query: query}, nil
 }
 
-// Close implements driver.Conn.
-func (c *conn) Close() error { return nil }
+// Close implements driver.Conn: durable connections close their pager
+// and remove their private database directory.
+func (c *conn) Close() error {
+	err := c.e.Close()
+	if c.ownDir != "" {
+		if rerr := os.RemoveAll(c.ownDir); err == nil {
+			err = rerr
+		}
+		c.ownDir = ""
+	}
+	return err
+}
 
 // Begin implements driver.Conn. The engine auto-commits every statement,
 // so transactions are accepted as pass-through no-ops: Commit succeeds

@@ -2,6 +2,8 @@ package dbdriver
 
 import (
 	"database/sql"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -231,5 +233,55 @@ func TestDriverErrors(t *testing.T) {
 	tx, _ = db.Begin()
 	if err := tx.Rollback(); err == nil {
 		t.Error("Rollback should error: statements auto-commit")
+	}
+}
+
+// TestDriverStorageDSN opens a durable connection through the DSN
+// storage parameter, checks it works, and checks Close removes the
+// connection's database directory.
+func TestDriverStorageDSN(t *testing.T) {
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+
+	db, err := sql.Open("pqs", "sqlite?storage=pager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetMaxOpenConns(1)
+	if _, err := db.Exec(`CREATE TABLE t0(c0)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t0(c0) VALUES (1), (2)`); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM t0`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("COUNT(*) = %d, want 2", n)
+	}
+	dirs, _ := filepath.Glob(filepath.Join(tmp, "pager-*"))
+	if len(dirs) != 1 {
+		t.Fatalf("expected 1 pager dir while open, found %v", dirs)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dirs[0]); !os.IsNotExist(err) {
+		t.Errorf("pager dir %s survived Close", dirs[0])
+	}
+
+	// storage=memory is the explicit default; anything else is rejected.
+	mem, err := sql.Open("pqs", "mysql?storage=memory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	if _, err := mem.Exec(`CREATE TABLE t0(c0 INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Driver{}).Open("sqlite?storage=tape"); err == nil {
+		t.Error("unknown storage mode should fail")
 	}
 }

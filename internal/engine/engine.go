@@ -16,6 +16,7 @@ import (
 	"repro/internal/sqlparse"
 	"repro/internal/sqlval"
 	"repro/internal/storage"
+	"repro/internal/storage/pager"
 	"repro/internal/xerr"
 )
 
@@ -73,6 +74,16 @@ type Engine struct {
 	// progs caches compiled expression programs by AST node identity;
 	// DDL-class statements clear it (see compiled.go).
 	progs map[sqlast.Expr]*eval.Program
+
+	// Durable-storage backend (nil for the default in-memory engine).
+	// ddlLog holds the SQL of every successful DDL statement since the
+	// last Reset — recovery replays it to rebuild the catalog; recovering
+	// suppresses logging/persisting while the replay itself runs.
+	pg         *pager.Pager
+	vfs        pager.VFS
+	dir        string
+	ddlLog     []string
+	recovering bool
 
 	cov *Coverage
 }
@@ -163,6 +174,13 @@ func (e *Engine) ExecStmt(st sqlast.Stmt) (res *Result, err error) {
 			if cp, ok := r.(crashPanic); ok {
 				res = nil
 				err = xerr.New(xerr.CodeCrash, "SIGSEGV at %s (simulated)", cp.site)
+				// The simulated SEGFAULT may have left a partial mutation:
+				// bring the durable image back in line with memory.
+				if e.pg != nil && mutating(st) {
+					if perr := e.persistLocked(); perr != nil {
+						err = perr
+					}
+				}
 				return
 			}
 			panic(r)
@@ -173,9 +191,7 @@ func (e *Engine) ExecStmt(st sqlast.Stmt) (res *Result, err error) {
 	if len(e.progs) > 0 && invalidatesPrograms(st) {
 		clear(e.progs)
 	}
-	switch st.(type) {
-	case *sqlast.CreateTable, *sqlast.CreateIndex, *sqlast.CreateView,
-		*sqlast.CreateStats, *sqlast.AlterTable, *sqlast.Drop:
+	if isDDL(st) {
 		// Schema shape may change: invalidate outstanding data snapshots
 		// (conservatively, even if the statement goes on to fail).
 		e.ddlEpoch++
@@ -187,6 +203,27 @@ func (e *Engine) ExecStmt(st sqlast.Stmt) (res *Result, err error) {
 		return nil, xerr.New(xerr.CodeCorrupt, "%s", e.corrupt)
 	}
 
+	res, err = e.exec1(st)
+
+	// Durable engines persist after every mutating statement — including
+	// failed ones, whose partial effects (multi-row INSERT dying midway)
+	// are real in-memory state the durable image must track. A persist
+	// failure (simulated power cut, dead pager) supersedes the statement's
+	// own outcome: the durable state is what broke.
+	if e.pg != nil && mutating(st) {
+		if err == nil && isDDL(st) {
+			e.ddlLog = append(e.ddlLog, sqlast.SQL(st, e.d))
+		}
+		if perr := e.persistLocked(); perr != nil {
+			res, err = nil, perr
+		}
+	}
+	return res, err
+}
+
+// exec1 dispatches one statement with e.mu held. Durable-storage recovery
+// calls it directly to replay the DDL log without re-persisting.
+func (e *Engine) exec1(st sqlast.Stmt) (*Result, error) {
 	switch n := st.(type) {
 	case *sqlast.CreateTable:
 		return e.createTable(n)

@@ -24,6 +24,21 @@ import (
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.resetLocked()
+	if e.pg != nil {
+		// Durable engines also wipe the backing files (and revive a pager
+		// that died to a simulated crash) so the next lifecycle starts
+		// from an empty database. A reset that cannot clear the disk
+		// leaves the database unusable — surface it as corruption.
+		if err := e.pg.Reset(); err != nil {
+			e.corrupt = err.Error()
+		}
+	}
+}
+
+// resetLocked clears the in-memory state only (e.mu held). CrashRecover
+// uses it before reloading from disk.
+func (e *Engine) resetLocked() {
 	for _, td := range e.data {
 		td.Reset()
 		e.freeTables = append(e.freeTables, td)
@@ -44,6 +59,7 @@ func (e *Engine) Reset() {
 	e.caseSensitiveLike = false
 	e.ev.CaseSensitiveLike = false
 	e.skipIndexMaint = false
+	e.ddlLog = e.ddlLog[:0]
 }
 
 // newTableData pops a recycled heap or allocates one.
@@ -142,5 +158,10 @@ func (e *Engine) Restore(s *Snapshot) error {
 	e.caseSensitiveLike = s.csLike
 	e.ev.CaseSensitiveLike = s.csLike
 	clear(e.progs) // programs may close over session options
+	if e.pg != nil {
+		// The rewind changed data without a statement: commit the restored
+		// state so the durable image keeps tracking memory.
+		return e.persistLocked()
+	}
 	return nil
 }

@@ -31,6 +31,11 @@ const (
 	// is structurally blind to.
 	OracleNoREC Oracle = "norec"
 	OracleTLP   Oracle = "tlp"
+	// OracleRecovery marks durability faults only the recovery-equivalence
+	// oracle can observe: they deviate between what the pager claims is
+	// durably committed and what a crash-then-recover cycle actually
+	// restores, which no query-result oracle ever sees.
+	OracleRecovery Oracle = "recovery"
 )
 
 // Class groups faults the way Section 4 of the paper groups bugs.
@@ -45,6 +50,7 @@ const (
 	ClassMaintenance  Class = "maintenance"  // VACUUM/REINDEX/REPAIR/CHECK/options
 	ClassCrash        Class = "crash"        // simulated SEGFAULTs
 	ClassSemantics    Class = "semantics"    // dialect-specific semantic bugs
+	ClassDurability   Class = "durability"   // pager/WAL crash-recovery bugs
 )
 
 // Info is the registry metadata for one fault.
@@ -226,6 +232,30 @@ const (
 	InsertVisibility Fault = "generic.insert-visibility"
 )
 
+// Durability faults, injected into the pager storage backend
+// (internal/storage/pager). They are dormant unless a session runs with
+// -storage=pager, and only the recovery-equivalence oracle — which crashes
+// the database at a scheduled point and compares post-recovery state with
+// the committed pre-crash state — can observe them. Registered under the
+// SQLite home dialect (the pager is dialect-independent; campaigns enable
+// them under any dialect).
+const (
+	// PagerLostFlush: Commit appends the WAL frames but skips the fsync,
+	// so a statement is reported durably committed while its frames still
+	// sit in the volatile write cache — a power cut silently loses
+	// claimed-committed transactions.
+	PagerLostFlush Fault = "pager.wal-lost-flush"
+	// PagerTornPageAccept: recovery skips frame-checksum verification and
+	// salvages the uncommitted WAL tail as an implicit commit, so a torn
+	// or bit-flipped final write resurfaces as (corrupted) committed state
+	// instead of being discarded.
+	PagerTornPageAccept Fault = "pager.torn-page-accept"
+	// PagerTruncatedReplay: recovery stops replaying the WAL after the
+	// first commit frame, dropping every later committed transaction that
+	// had not yet been checkpointed into the main database file.
+	PagerTruncatedReplay Fault = "pager.wal-truncated-replay"
+)
+
 // registry holds the metadata table.
 var registry = map[Fault]Info{}
 
@@ -287,6 +317,10 @@ func init() {
 		{OrderByLimitDrop, pg, ClassOptimization, OracleContainment, true, "§4 class", "ORDER BY + LIMIT drops a row when sort key has NULL"},
 		{VacuumCorrupt, sq, ClassCorruption, OracleError, false, "§4.4 class", "VACUUM corrupts the storage checksum"},
 		{InsertVisibility, my, ClassSemantics, OracleContainment, true, "§4 class", "last inserted row invisible to next scan"},
+
+		{PagerLostFlush, sq, ClassDurability, OracleRecovery, true, "§7 durability class", "Commit skips the WAL fsync; claimed-committed transactions vanish on crash"},
+		{PagerTornPageAccept, sq, ClassDurability, OracleRecovery, true, "§7 durability class", "recovery skips checksum verification and salvages the torn WAL tail"},
+		{PagerTruncatedReplay, sq, ClassDurability, OracleRecovery, true, "§7 durability class", "recovery stops after the first WAL commit frame, dropping later commits"},
 	} {
 		register(i)
 	}

@@ -9,12 +9,12 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 43 {
-		t.Fatalf("registry has %d faults, want 43", len(all))
+	if len(all) != 46 {
+		t.Fatalf("registry has %d faults, want 46", len(all))
 	}
 	valid := map[Oracle]bool{
 		OracleContainment: true, OracleError: true, OracleCrash: true,
-		OracleNoREC: true, OracleTLP: true,
+		OracleNoREC: true, OracleTLP: true, OracleRecovery: true,
 	}
 	for _, i := range all {
 		if i.ID == "" || i.Desc == "" || i.Paper == "" {
@@ -25,8 +25,10 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		// Logic bugs (wrong result sets) are exactly the ones result-set
 		// oracles catch: containment for pivot drops, NoREC/TLP for
-		// whole-result-set deviations. Error/crash faults are not logic.
-		logicOracle := i.Oracle == OracleContainment || i.Oracle == OracleNoREC || i.Oracle == OracleTLP
+		// whole-result-set deviations, recovery for wrong durable state.
+		// Error/crash faults are not logic.
+		logicOracle := i.Oracle == OracleContainment || i.Oracle == OracleNoREC ||
+			i.Oracle == OracleTLP || i.Oracle == OracleRecovery
 		if i.Logic != logicOracle {
 			t.Errorf("fault %q: Logic=%v inconsistent with oracle %q", i.ID, i.Logic, i.Oracle)
 		}

@@ -24,6 +24,9 @@ type Config struct {
 	QueriesPerDB int
 	// Backend names the sut driver ("" = sut.DefaultBackend).
 	Backend string
+	// Storage selects the session's storage mode ("" or "memory" =
+	// in-memory, "pager" = durable page file + WAL).
+	Storage string
 	// WireFidelity renders and reparses each generated statement instead
 	// of the ExecAST fast path, restoring the fuzzer's parser coverage.
 	WireFidelity bool
@@ -63,6 +66,7 @@ func (f *Fuzzer) RunDatabase() (*core.Bug, error) {
 		Faults:       f.cfg.Faults,
 		WireFidelity: f.cfg.WireFidelity,
 		NoCompile:    f.cfg.NoCompile,
+		Storage:      f.cfg.Storage,
 	})
 	if err != nil {
 		return nil, err

@@ -259,6 +259,27 @@ func (sg *StateGen) caseVariantOf(table string, info schema.TableInfo, column st
 	return sqlval.Text(texts[sg.Rnd.Intn(len(texts))])
 }
 
+// RandomDML generates and applies one data-mutating statement (INSERT,
+// UPDATE, or DELETE, insert-biased) against a random existing table. The
+// recovery-equivalence oracle uses it to grow committed state between
+// crash points without touching the schema. A no-op when the database
+// has no tables.
+func (sg *StateGen) RandomDML(apply Apply) error {
+	tables := sg.E.Tables()
+	if len(tables) == 0 {
+		return nil
+	}
+	table := tables[sg.Rnd.Intn(len(tables))]
+	switch sg.Rnd.Intn(6) {
+	case 0:
+		return sg.genUpdate(apply, table)
+	case 1:
+		return sg.genDelete(apply, table)
+	default:
+		return sg.insertInto(apply, table, 1+sg.Rnd.Intn(3))
+	}
+}
+
 // randomExtra emits one exploratory statement.
 func (sg *StateGen) randomExtra(apply Apply) error {
 	tables := sg.E.Tables()

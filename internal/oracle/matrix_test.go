@@ -47,6 +47,13 @@ func expectationFor(info faults.Info, oracleName string) expectation {
 			return mustDetect
 		}
 		return mustMiss
+	case faults.OracleRecovery:
+		// Durability faults are dormant without the pager storage backend:
+		// pqs/tlp/norec campaigns run in-memory, so the fault's code never
+		// executes and any detection is a matrix bug. The recovery oracle
+		// itself is swept by TestRecoveryFaultMatrix (it needs a pager
+		// session the shared budget table here doesn't configure).
+		return mustMiss
 	default: // containment
 		if oracleName == "pqs" {
 			return mustDetect
@@ -156,13 +163,16 @@ func isMetamorphic(info faults.Info) bool {
 // TestOracleRouting checks ForFault's registry mapping.
 func TestOracleRouting(t *testing.T) {
 	cases := map[faults.Fault]string{
-		faults.PartialIndexNotNull: "pqs",
-		faults.ReindexUnique:       "pqs",
-		faults.RowidAliasCrash:     "pqs",
-		faults.NullPartitionDrop:   "tlp",
-		faults.UnionAllDedup:       "tlp",
-		faults.AggEmptyGroup:       "tlp",
-		faults.NorecCountMismatch:  "norec",
+		faults.PartialIndexNotNull:  "pqs",
+		faults.ReindexUnique:        "pqs",
+		faults.RowidAliasCrash:      "pqs",
+		faults.NullPartitionDrop:    "tlp",
+		faults.UnionAllDedup:        "tlp",
+		faults.AggEmptyGroup:        "tlp",
+		faults.NorecCountMismatch:   "norec",
+		faults.PagerLostFlush:       "recovery",
+		faults.PagerTornPageAccept:  "recovery",
+		faults.PagerTruncatedReplay: "recovery",
 	}
 	for f, want := range cases {
 		info, ok := faults.Lookup(f)

@@ -64,9 +64,12 @@ func Classify(st sqlast.Stmt, err error, d dialect.Dialect) Verdict {
 	if xerr.AlwaysUnexpected(code) {
 		return VerdictBug
 	}
-	// Generator artifacts are never expected and never bugs.
+	// Generator artifacts are never expected and never bugs. CodeIO is
+	// here because it only arises from simulated power cuts: the
+	// recovery oracle owns the durability verdict, so a statement dying
+	// with the pager is harness mechanics, not an engine bug.
 	switch code {
-	case xerr.CodeSyntax, xerr.CodeUnsupported, xerr.CodeNoObject, xerr.CodeBusy:
+	case xerr.CodeSyntax, xerr.CodeUnsupported, xerr.CodeNoObject, xerr.CodeBusy, xerr.CodeIO:
 		return VerdictArtifact
 	}
 	if expectedFor(st, code, d) {

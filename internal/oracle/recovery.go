@@ -1,0 +1,257 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/sqlast"
+	"repro/internal/storage/pager"
+	"repro/internal/sut"
+	"repro/internal/xerr"
+)
+
+func init() {
+	Register("recovery", func(o Options) Oracle { return &recovery{opts: o} })
+}
+
+// crashableDB is the capability surface the recovery oracle needs beyond
+// sut.DB. It is asserted structurally so any backend that supports
+// simulated crashes (today sut/memengine over the pager storage mode)
+// works without a registry change.
+type crashableDB interface {
+	Durable() bool
+	ArmCrash(pager.CrashPlan) bool
+	DisarmCrash()
+	CrashRecover(pager.CrashPlan) error
+}
+
+// recovery implements the recovery-equivalence oracle: grow committed
+// state with random DML, simulate a power cut at a seed-derived crash
+// point (after the final fsync, or mid-commit between WAL append and
+// fsync), recover the database from the surviving files, and compare the
+// recovered row multisets per table against the expected state. A sound
+// pager must recover exactly the committed state for an after-sync crash,
+// and either the pre-statement or post-statement state (atomicity, never
+// anything in between) for a mid-commit crash. The injected durability
+// faults — skipped commit fsync, checksum-blind torn-tail salvage,
+// truncated WAL replay — all surface as divergences or recovery failures
+// here; the ground truth is the tester's own introspection of what it
+// committed, never the (possibly buggy) recovery path.
+type recovery struct {
+	opts Options
+}
+
+// Name implements Oracle.
+func (*recovery) Name() string { return "recovery" }
+
+// tableDump is the expected/recovered state: table → sorted encoded rows
+// (a multiset; duplicates stay as repeated entries).
+type tableDump map[string][]string
+
+// dump captures the row multiset of every table through the ground-truth
+// introspection surface (RawRows bypasses the query and recovery paths).
+func dump(db sut.DB) tableDump {
+	intro := db.Introspect()
+	out := tableDump{}
+	for _, t := range intro.Tables() {
+		rows := intro.RawRows(t)
+		enc := make([]string, len(rows))
+		for i, r := range rows {
+			var b strings.Builder
+			for j, v := range r {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(v.Literal())
+			}
+			enc[i] = b.String()
+		}
+		sort.Strings(enc)
+		out[t] = enc
+	}
+	return out
+}
+
+// diff describes the first divergence between two dumps ("" when equal).
+// Deterministic: tables in sorted order, rows pre-sorted by dump.
+func (d tableDump) diff(got tableDump) string {
+	names := make([]string, 0, len(d))
+	for t := range d {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		want, have := d[t], got[t]
+		if len(want) != len(have) {
+			return fmt.Sprintf("table %s: %d rows committed, %d recovered", t, len(want), len(have))
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				return fmt.Sprintf("table %s: committed row (%s) vs recovered (%s)", t, want[i], have[i])
+			}
+		}
+	}
+	for t := range got {
+		if _, ok := d[t]; !ok {
+			return fmt.Sprintf("table %s: absent at commit time, present after recovery", t)
+		}
+	}
+	return ""
+}
+
+// equal reports whether two dumps hold identical multisets.
+func (d tableDump) equal(got tableDump) bool { return d.diff(got) == "" }
+
+// RecoveryReplay replays a candidate trace on a crash-capable database
+// and reports whether the bug's recorded crash schedule still produces a
+// recovery divergence — the reducer's reproduction check. For a
+// before-sync plan the final trace statement runs with the crash armed
+// (it must die mid-commit with CodeIO, or the candidate no longer
+// reproduces); for an after-sync plan the whole trace commits first and
+// the power cut lands between statements.
+func RecoveryReplay(db sut.DB, bug *Report, trace []string) bool {
+	cdb, ok := db.(crashableDB)
+	if !ok || !cdb.Durable() || len(trace) == 0 {
+		return false
+	}
+	plan, err := pager.ParseCrashPlan(bug.CrashPlan)
+	if err != nil {
+		return false
+	}
+	if plan.Point == pager.BeforeSync {
+		for _, sql := range trace[:len(trace)-1] {
+			_, _ = db.Exec(sql) // setup errors just weaken the candidate
+		}
+		before := dump(db)
+		if !cdb.ArmCrash(plan) {
+			return false
+		}
+		_, err := db.Exec(trace[len(trace)-1])
+		if code, _ := xerr.CodeOf(err); err == nil || code != xerr.CodeIO {
+			// The armed crash never fired (the statement stopped being a
+			// mutating commit): the candidate lost the bug.
+			cdb.DisarmCrash()
+			return false
+		}
+		after := dump(db)
+		if cdb.CrashRecover(plan) != nil {
+			return true // recovery failure is itself the detection
+		}
+		rec := dump(db)
+		return !before.equal(rec) && !after.equal(rec)
+	}
+	for _, sql := range trace {
+		_, _ = db.Exec(sql)
+	}
+	expected := dump(db)
+	if cdb.CrashRecover(plan) != nil {
+		return true
+	}
+	return !expected.equal(dump(db))
+}
+
+// Check implements Oracle: one crash-recovery round.
+func (r *recovery) Check(db sut.DB, env *Env) (*Report, error) {
+	cdb, ok := db.(crashableDB)
+	if !ok || !cdb.Durable() {
+		return nil, xerr.New(xerr.CodeUnsupported,
+			"recovery oracle requires the durable pager backend (session Storage=\"pager\", CLI -storage=pager)")
+	}
+
+	sg := &gen.StateGen{Rnd: env.Rnd, E: db.Introspect(), Hints: env.Hints}
+	var extra []string // DML executed since the setup prefix
+	apply := func(st sqlast.Stmt) error {
+		env.Record()
+		extra = append(extra, sqlast.SQL(st, env.Dialect))
+		_, err := db.ExecAST(st)
+		// Failed statements persisted whatever partial effect they had;
+		// only a dead pager (CodeIO) must abort the round, and the armed
+		// loop below handles that case itself.
+		_ = err
+		return nil
+	}
+
+	// Grow committed state.
+	for i, n := 0, 1+env.Rnd.Intn(3); i < n; i++ {
+		if err := sg.RandomDML(apply); err != nil {
+			return nil, err
+		}
+	}
+
+	plan := pager.RandomPlan(env.Rnd.Intn)
+	expected := dump(db)
+	var expectedAfter tableDump // BeforeSync: state after the armed statement
+
+	if plan.Point == pager.BeforeSync {
+		// Arm the crash inside the next commit and run one more DML: the
+		// power cut lands after its WAL frames are appended but before
+		// the fsync. The statement dies with CodeIO once the pager goes
+		// down; its mutation is still applied in memory, which is exactly
+		// the "transaction became durable" half of the atomicity check.
+		fired := false
+		for try := 0; try < 4 && !fired; try++ {
+			expected = dump(db)
+			if !cdb.ArmCrash(plan) {
+				return nil, xerr.New(xerr.CodeUnsupported, "backend cannot simulate crashes")
+			}
+			err := sg.RandomDML(func(st sqlast.Stmt) error {
+				env.Record()
+				extra = append(extra, sqlast.SQL(st, env.Dialect))
+				_, err := db.ExecAST(st)
+				return err
+			})
+			if err != nil {
+				if code, _ := xerr.CodeOf(err); code == xerr.CodeIO {
+					fired = true
+					expectedAfter = dump(db)
+					break
+				}
+				// An expected statement error still commits its partial
+				// effect, so the armed crash fired with it — the CodeIO
+				// override in the engine makes this unreachable for
+				// durable backends, but stay safe for foreign ones.
+			}
+		}
+		if !fired {
+			// No mutating statement ran (e.g. an empty schema): fall back
+			// to an after-sync crash between statements.
+			cdb.DisarmCrash()
+			plan.Point = pager.AfterSync
+			expected = dump(db)
+		}
+	}
+
+	if err := cdb.CrashRecover(plan); err != nil {
+		code, _ := xerr.CodeOf(err)
+		return &Report{
+			Oracle:     faults.OracleRecovery,
+			DetectedBy: "recovery",
+			Code:       code,
+			Message:    fmt.Sprintf("recovery failed after simulated crash (%s): %v", plan, err),
+			Trace:      append(env.SetupTrace(), extra...),
+			CrashPlan:  plan.String(),
+		}, nil
+	}
+
+	recovered := dump(db)
+	if plan.Point == pager.BeforeSync {
+		// Atomicity: the mid-commit transaction either became durable
+		// (the unsynced tail survived intact) or vanished — both legal.
+		if expected.equal(recovered) || expectedAfter.equal(recovered) {
+			return nil, nil
+		}
+	} else if expected.equal(recovered) {
+		return nil, nil
+	}
+	return &Report{
+		Oracle:     faults.OracleRecovery,
+		DetectedBy: "recovery",
+		Message: fmt.Sprintf("recovery divergence after simulated crash (%s): %s",
+			plan, expected.diff(recovered)),
+		Trace:     append(env.SetupTrace(), extra...),
+		CrashPlan: plan.String(),
+	}, nil
+}

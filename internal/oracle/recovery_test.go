@@ -1,0 +1,133 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/faults"
+	"repro/internal/runner"
+)
+
+// durabilityFaults are the injected pager bugs only the recovery oracle
+// can observe.
+var durabilityFaults = []faults.Fault{
+	faults.PagerLostFlush,
+	faults.PagerTornPageAccept,
+	faults.PagerTruncatedReplay,
+}
+
+// TestRecoveryFaultMatrix hunts every injected durability fault with the
+// recovery-equivalence oracle in all three dialects. The faults live in
+// the pager, below the SQL surface, so the dialect axis checks the oracle
+// end to end (dialect-specific DML generation, introspection, reporting)
+// rather than dialect-specific fault behaviour.
+func TestRecoveryFaultMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery fault matrix is not short")
+	}
+	for _, d := range dialect.All {
+		for _, f := range durabilityFaults {
+			d, f := d, f
+			t.Run(d.String()+"/"+string(f), func(t *testing.T) {
+				t.Parallel()
+				res := runner.Run(runner.Campaign{
+					Dialect:      d,
+					Fault:        f,
+					MaxDatabases: 300,
+					Workers:      2,
+					BaseSeed:     1,
+					Oracles:      []string{"recovery"},
+					Reduce:       true,
+				})
+				if !res.Detected {
+					t.Fatalf("recovery oracle missed %s in %d databases", f, res.Databases)
+				}
+				if res.Bug.Oracle != faults.OracleRecovery {
+					t.Errorf("detection carries oracle %q, want %q", res.Bug.Oracle, faults.OracleRecovery)
+				}
+				if res.Bug.DetectedBy != "recovery" {
+					t.Errorf("DetectedBy = %q, want recovery", res.Bug.DetectedBy)
+				}
+				if res.Bug.CrashPlan == "" {
+					t.Error("detection has no crash plan: the reducer cannot replay it")
+				}
+				if len(res.Reduced) == 0 || len(res.Reduced) > len(res.Bug.Trace) {
+					t.Errorf("reduction produced %d statements from %d", len(res.Reduced), len(res.Bug.Trace))
+				}
+				t.Logf("%s/%s: seed %d, %d databases, trace %d → %d stmts: %s",
+					d, f, res.Seed, res.Databases, len(res.Bug.Trace), len(res.Reduced), res.Bug.Message)
+			})
+		}
+	}
+}
+
+// TestRecoveryNoFalsePositives soaks the sound pager: across all three
+// dialects, no crash schedule may produce a divergence — every after-sync
+// crash recovers the committed state exactly, and every mid-commit crash
+// recovers one of the two legal states.
+func TestRecoveryNoFalsePositives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery soundness soak is not short")
+	}
+	for _, d := range dialect.All {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			res := runner.Run(runner.Campaign{
+				Dialect:      d,
+				Fault:        "", // sound pager
+				MaxDatabases: 150,
+				Workers:      4,
+				BaseSeed:     1,
+				Oracles:      []string{"recovery"},
+			})
+			if res.Detected {
+				t.Fatalf("false positive on the sound pager (seed %d): %s", res.Seed, res.Bug.Message)
+			}
+		})
+	}
+}
+
+// TestRecoveryDeterminism runs the same durability hunt with 1 and 8
+// workers: detection, seed, message, trace, and crash plan must be
+// byte-identical — crash schedules derive from the campaign seed, never
+// from scheduling.
+func TestRecoveryDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery determinism check is not short")
+	}
+	campaign := func(workers int) runner.Result {
+		return runner.Run(runner.Campaign{
+			Dialect:      dialect.SQLite,
+			Fault:        faults.PagerTornPageAccept,
+			MaxDatabases: 300,
+			Workers:      workers,
+			BaseSeed:     7,
+			Oracles:      []string{"recovery"},
+		})
+	}
+	a, b := campaign(1), campaign(8)
+	if a.Detected != b.Detected {
+		t.Fatalf("Detected differs: %v vs %v", a.Detected, b.Detected)
+	}
+	if !a.Detected {
+		t.Fatal("torn-page-accept not detected at all")
+	}
+	if a.Seed != b.Seed {
+		t.Fatalf("detecting seed differs: %d vs %d", a.Seed, b.Seed)
+	}
+	if a.Bug.Message != b.Bug.Message {
+		t.Fatalf("message differs:\n  1 worker: %s\n  8 workers: %s", a.Bug.Message, b.Bug.Message)
+	}
+	if a.Bug.CrashPlan != b.Bug.CrashPlan {
+		t.Fatalf("crash plan differs: %s vs %s", a.Bug.CrashPlan, b.Bug.CrashPlan)
+	}
+	if len(a.Bug.Trace) != len(b.Bug.Trace) {
+		t.Fatalf("trace length differs: %d vs %d", len(a.Bug.Trace), len(b.Bug.Trace))
+	}
+	for i := range a.Bug.Trace {
+		if a.Bug.Trace[i] != b.Bug.Trace[i] {
+			t.Fatalf("trace[%d] differs: %q vs %q", i, a.Bug.Trace[i], b.Bug.Trace[i])
+		}
+	}
+}

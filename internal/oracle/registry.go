@@ -135,6 +135,8 @@ func ForFault(info faults.Info) string {
 		return "tlp"
 	case faults.OracleNoREC:
 		return "norec"
+	case faults.OracleRecovery:
+		return "recovery"
 	default:
 		return "pqs"
 	}

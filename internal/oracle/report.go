@@ -45,4 +45,8 @@ type Report struct {
 	// Agg names the aggregate of a TLP aggregate-variant detection
 	// ("COUNT", "SUM", "MAX"); empty means the row-multiset comparison.
 	Agg string
+	// CrashPlan is the serialized crash schedule of a recovery-oracle
+	// detection (pager.CrashPlan.String()). Reduction replays the
+	// identical simulated power cut. Empty for all other oracles.
+	CrashPlan string
 }

@@ -61,6 +61,17 @@ func CheckerFor(bug *core.Bug, d dialect.Dialect, fs *faults.Set) Check {
 		if len(trace) == 0 {
 			return false
 		}
+		if bug.Oracle == faults.OracleRecovery {
+			// Recovery bugs replay on the durable pager backend and
+			// re-apply the recorded crash schedule (oracle.RecoveryReplay
+			// owns the arm/crash/compare protocol).
+			db, err := sut.Open("", sut.Session{Dialect: d, Faults: fs, Storage: "pager"})
+			if err != nil {
+				return false
+			}
+			defer db.Close()
+			return oracle.RecoveryReplay(db, bug, trace)
+		}
 		db, err := sut.Open("", sut.Session{Dialect: d, Faults: fs})
 		if err != nil {
 			return false

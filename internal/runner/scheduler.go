@@ -130,6 +130,19 @@ func (s *Scheduler) Sweep(ctx context.Context, campaigns []Campaign) []Result {
 		cfg := c.Tester
 		cfg.Dialect = c.Dialect
 		cfg.Faults = fs
+		for _, o := range c.Oracles {
+			if o == "recovery" {
+				// The recovery-equivalence oracle needs the durable pager
+				// backend, and each of its checks crashes and recovers the
+				// database. One crash round per lifecycle is forced: a
+				// second round's reproduction trace (setup + that round's
+				// DML) would silently omit the first round's mutations.
+				if cfg.Storage == "" {
+					cfg.Storage = "pager"
+				}
+				cfg.QueriesPerDB = 1
+			}
+		}
 		tasks[i] = &schedTask{
 			idx:      i,
 			c:        c,

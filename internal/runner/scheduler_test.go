@@ -22,6 +22,7 @@ type canonical struct {
 	Message    string
 	Trace      []string
 	Reduced    []string
+	CrashPlan  string
 }
 
 func canon(r Result) canonical {
@@ -31,6 +32,7 @@ func canon(r Result) canonical {
 		c.DetectedBy = r.Bug.DetectedBy
 		c.Message = r.Bug.Message
 		c.Trace = r.Bug.Trace
+		c.CrashPlan = r.Bug.CrashPlan
 	}
 	return c
 }
@@ -47,6 +49,9 @@ func TestSchedulerDeterminism(t *testing.T) {
 		{Dialect: dialect.SQLite, Fault: faults.UnionAllDedup, MaxDatabases: 300, BaseSeed: 7, Oracles: []string{"tlp"}},
 		{Dialect: dialect.SQLite, Fault: faults.PartialIndexNotNull, MaxDatabases: 300, BaseSeed: 3, Oracles: []string{"pqs", "tlp", "norec"}},
 		{Dialect: dialect.Postgres, MaxDatabases: 30, BaseSeed: 5}, // soundness: must exhaust budget
+		// Durable pager storage: the recovery oracle's crash schedules must
+		// also be schedule-independent (crash plans derive from the seed).
+		{Dialect: dialect.SQLite, Fault: faults.PagerLostFlush, MaxDatabases: 300, BaseSeed: 2, Oracles: []string{"recovery"}, Reduce: true},
 	}
 	sweep := func(workers int) []canonical {
 		s := &Scheduler{Workers: workers}
@@ -65,7 +70,7 @@ func TestSchedulerDeterminism(t *testing.T) {
 		}
 	}
 	// Sanity: the detecting campaigns did detect, the soundness one did not.
-	for i := 0; i < 3; i++ {
+	for _, i := range []int{0, 1, 2, 4} {
 		if !one[i].Detected {
 			t.Errorf("campaign %d missed its fault", i)
 		}

@@ -1,0 +1,113 @@
+package pager
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/xerr"
+)
+
+// CrashPoint places a simulated power cut relative to the final commit.
+type CrashPoint uint8
+
+// Crash points.
+const (
+	// AfterSync cuts power after the final statement committed and
+	// fsynced: recovery must restore the complete committed state.
+	AfterSync CrashPoint = iota
+	// BeforeSync cuts power inside the final commit, after its WAL frames
+	// are written but before the fsync: the transaction is in the
+	// unsynced tail, and recovery must restore either the state before it
+	// (tail lost or torn) or after it (tail happened to hit the platter)
+	// — atomicity, never anything in between.
+	BeforeSync
+)
+
+// String names the point.
+func (p CrashPoint) String() string {
+	if p == BeforeSync {
+		return "beforesync"
+	}
+	return "aftersync"
+}
+
+// CrashPlan is one deterministic, seed-replayable crash schedule: where
+// the power cut lands and what happens to the unsynced write tail.
+// Serialized into recovery-oracle reports so the reducer can replay the
+// identical crash.
+type CrashPlan struct {
+	Point CrashPoint
+	Mode  CrashMode
+	// Frac is the salvaged fraction of unsynced bytes for Torn/BitFlip
+	// (quantized to hundredths so String/Parse round-trip exactly).
+	Frac float64
+	// BitOffset selects the flipped bit for BitFlip.
+	BitOffset int
+}
+
+// String serializes the plan ("beforesync:torn:0.50:0").
+func (p CrashPlan) String() string {
+	return fmt.Sprintf("%s:%s:%.2f:%d", p.Point, p.Mode, p.Frac, p.BitOffset)
+}
+
+// ParseCrashPlan deserializes a plan produced by String.
+func ParseCrashPlan(s string) (CrashPlan, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		return CrashPlan{}, xerr.New(xerr.CodeUnsupported, "pager: bad crash plan %q", s)
+	}
+	var p CrashPlan
+	switch parts[0] {
+	case "aftersync":
+		p.Point = AfterSync
+	case "beforesync":
+		p.Point = BeforeSync
+	default:
+		return CrashPlan{}, xerr.New(xerr.CodeUnsupported, "pager: bad crash point %q", parts[0])
+	}
+	switch parts[1] {
+	case "losttail":
+		p.Mode = LostTail
+	case "torn":
+		p.Mode = Torn
+	case "bitflip":
+		p.Mode = BitFlip
+	default:
+		return CrashPlan{}, xerr.New(xerr.CodeUnsupported, "pager: bad crash mode %q", parts[1])
+	}
+	frac, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return CrashPlan{}, xerr.New(xerr.CodeUnsupported, "pager: bad crash fraction %q", parts[2])
+	}
+	p.Frac = frac
+	bit, err := strconv.Atoi(parts[3])
+	if err != nil {
+		return CrashPlan{}, xerr.New(xerr.CodeUnsupported, "pager: bad bit offset %q", parts[3])
+	}
+	p.BitOffset = bit
+	return p, nil
+}
+
+// RandomPlan derives a crash schedule from a campaign's random source
+// (any deterministic intn(n) function), so schedules replay with the
+// seed. Fractions are quantized for exact serialization round trips.
+func RandomPlan(intn func(int) int) CrashPlan {
+	p := CrashPlan{}
+	if intn(2) == 1 {
+		p.Point = BeforeSync
+	}
+	switch intn(3) {
+	case 0:
+		p.Mode = LostTail
+	case 1:
+		p.Mode = Torn
+	default:
+		p.Mode = BitFlip
+	}
+	if p.Mode != LostTail {
+		p.Frac = float64(25*(1+intn(4))) / 100 // 0.25 .. 1.00
+		p.BitOffset = intn(1 << 16)
+	}
+	return p
+}

@@ -1,0 +1,123 @@
+package pager
+
+// lruCache is the page cache: page number → full on-disk page bytes, with
+// LRU eviction and dirty-page tracking. Dirty pages (staged during a
+// commit, not yet in the WAL) are pinned — eviction skips them, so a
+// commit can always re-read its own staged writes; Commit marks them
+// clean once their frames are durably in the WAL.
+type lruCache struct {
+	cap   int
+	pages map[uint32]*cachedPage
+	head  *cachedPage // most recently used
+	tail  *cachedPage // least recently used
+
+	hits, misses, evictions int
+}
+
+type cachedPage struct {
+	no         uint32
+	data       []byte // PageSize bytes
+	dirty      bool
+	prev, next *cachedPage
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &lruCache{cap: capacity, pages: make(map[uint32]*cachedPage, capacity)}
+}
+
+// get returns the cached page bytes and bumps recency.
+func (c *lruCache) get(no uint32) ([]byte, bool) {
+	p, ok := c.pages[no]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.moveToFront(p)
+	return p.data, true
+}
+
+// put inserts or refreshes a page, evicting the least recently used clean
+// page when over capacity.
+func (c *lruCache) put(no uint32, data []byte, dirty bool) {
+	if p, ok := c.pages[no]; ok {
+		p.data = data
+		p.dirty = dirty
+		c.moveToFront(p)
+		return
+	}
+	p := &cachedPage{no: no, data: data, dirty: dirty}
+	c.pages[no] = p
+	c.pushFront(p)
+	for len(c.pages) > c.cap {
+		if !c.evictOne() {
+			break // every page dirty: exceed capacity until commit cleans them
+		}
+	}
+}
+
+// markClean clears the dirty pin after the page's frame is in the WAL.
+func (c *lruCache) markClean(no uint32) {
+	if p, ok := c.pages[no]; ok {
+		p.dirty = false
+	}
+}
+
+// evictOne drops the least recently used clean page.
+func (c *lruCache) evictOne() bool {
+	for p := c.tail; p != nil; p = p.prev {
+		if p.dirty {
+			continue
+		}
+		c.unlink(p)
+		delete(c.pages, p.no)
+		c.evictions++
+		return true
+	}
+	return false
+}
+
+// reset empties the cache (pager Reset / recovery).
+func (c *lruCache) reset() {
+	clear(c.pages)
+	c.head, c.tail = nil, nil
+}
+
+func (c *lruCache) len() int { return len(c.pages) }
+
+func (c *lruCache) pushFront(p *cachedPage) {
+	p.prev = nil
+	p.next = c.head
+	if c.head != nil {
+		c.head.prev = p
+	}
+	c.head = p
+	if c.tail == nil {
+		c.tail = p
+	}
+}
+
+func (c *lruCache) unlink(p *cachedPage) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		c.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		c.tail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(p *cachedPage) {
+	if c.head == p {
+		return
+	}
+	c.unlink(p)
+	c.pushFront(p)
+}

@@ -70,6 +70,17 @@ func (t *TableData) InsertWithRowid(rowid int64, vals []sqlval.Value) (*Row, boo
 // the slice.
 func (t *TableData) Rows() []*Row { return t.rows }
 
+// NextRowid reports the rowid the next Insert would assign.
+func (t *TableData) NextRowid() int64 { return t.nextRowid }
+
+// SetNextRowid raises the rowid allocator — durable-storage recovery
+// restores the allocator past deleted high rowids.
+func (t *TableData) SetNextRowid(n int64) {
+	if n > t.nextRowid {
+		t.nextRowid = n
+	}
+}
+
 // Len reports the number of live rows.
 func (t *TableData) Len() int { return len(t.rows) }
 

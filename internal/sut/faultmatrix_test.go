@@ -16,7 +16,7 @@ import (
 // the session in wire-fidelity mode (render→reparse, the pre-boundary
 // string round trip), each under the testing oracle its registry entry
 // routes to. Together with runner's TestFullCorpusDetectable — which
-// sweeps the same 43-fault matrix through the default ExecAST fast path —
+// sweeps the same 46-fault matrix through the default ExecAST fast path —
 // this proves both execution modes of the API detect the whole corpus
 // (including TLP's UNION ALL compounds surviving render→reparse).
 func TestFaultMatrixWireFidelity(t *testing.T) {
@@ -47,12 +47,12 @@ func TestFaultMatrixWireFidelity(t *testing.T) {
 			})
 		}
 	}
-	if total != 43 {
-		t.Errorf("fault registry has %d faults, matrix expects 43", total)
+	if total != 46 {
+		t.Errorf("fault registry has %d faults, matrix expects 46", total)
 	}
 }
 
-// TestFaultMatrixCompiledParity sweeps the same 43-fault matrix through
+// TestFaultMatrixCompiledParity sweeps the same 46-fault matrix through
 // the ExecAST fast path twice — once with compiled expression programs
 // (the default since the compiled-eval tentpole) and once with the
 // -no-compile tree walk — proving detection parity: compilation changes

@@ -9,9 +9,13 @@
 package memengine
 
 import (
+	"os"
+
 	"repro/internal/engine"
 	"repro/internal/sqlast"
+	"repro/internal/storage/pager"
 	"repro/internal/sut"
+	"repro/internal/xerr"
 )
 
 func init() {
@@ -20,7 +24,9 @@ func init() {
 
 type driverImpl struct{}
 
-// Open implements sut.Driver.
+// Open implements sut.Driver. Session.Storage "pager" opens the durable
+// page-file + WAL backend in a private temp directory over a
+// crash-simulating VFS; Close removes the directory.
 func (driverImpl) Open(s sut.Session) (sut.DB, error) {
 	var opts []engine.Option
 	if s.Faults != nil {
@@ -32,13 +38,34 @@ func (driverImpl) Open(s sut.Session) (sut.DB, error) {
 	if s.NoCompile {
 		opts = append(opts, engine.WithoutCompiledEval())
 	}
-	return Wrap(engine.Open(s.Dialect, opts...), s), nil
+	switch s.Storage {
+	case "", "memory":
+		return Wrap(engine.Open(s.Dialect, opts...), s), nil
+	case "pager":
+		dir, err := os.MkdirTemp("", "pager-")
+		if err != nil {
+			return nil, xerr.New(xerr.CodeIO, "memengine: temp dir: %v", err)
+		}
+		e, err := engine.OpenDurable(s.Dialect, pager.NewSim(pager.OS()), dir, opts...)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		db := Wrap(e, s)
+		db.ownDir = dir
+		return db, nil
+	default:
+		return nil, xerr.New(xerr.CodeUnsupported, "memengine: unknown storage %q (want memory or pager)", s.Storage)
+	}
 }
 
 // DB adapts one *engine.Engine to sut.DB.
 type DB struct {
 	e    *engine.Engine
 	sess sut.Session
+	// ownDir is the temp directory holding a durable database's files;
+	// Close removes it so campaigns leave no artifacts behind.
+	ownDir string
 }
 
 // Wrap adapts a caller-constructed engine (white-box tests, coverage
@@ -112,9 +139,38 @@ func (d *DB) Introspect() sut.Introspection { return d.e }
 // Session implements sut.DB.
 func (d *DB) Session() sut.Session { return d.sess }
 
-// Close implements sut.DB. The engine is garbage-collected state; there
-// is nothing to release.
-func (d *DB) Close() error { return nil }
+// Close implements sut.DB. In-memory engines are garbage-collected
+// state; durable engines close their pager and remove their private temp
+// directory — even a failed campaign leaves no files behind.
+func (d *DB) Close() error {
+	err := d.e.Close()
+	if d.ownDir != "" {
+		if rerr := os.RemoveAll(d.ownDir); err == nil {
+			err = rerr
+		}
+		d.ownDir = ""
+	}
+	return err
+}
+
+// Durable reports whether this database persists through the pager
+// backend (Session.Storage "pager").
+func (d *DB) Durable() bool { return d.e.Durable() }
+
+// ArmCrash schedules a simulated power cut inside the next durable
+// commit. False when the database is not durable.
+func (d *DB) ArmCrash(plan pager.CrashPlan) bool { return d.e.ArmCrash(plan) }
+
+// DisarmCrash cancels an armed crash that has not fired.
+func (d *DB) DisarmCrash() { d.e.DisarmCrash() }
+
+// CrashRecover simulates a power cut per the plan and reopens the
+// database from the surviving files (see engine.CrashRecover).
+func (d *DB) CrashRecover(plan pager.CrashPlan) error { return d.e.CrashRecover(plan) }
+
+// PagerStats exposes the pager's work counters (dbshell's .storage meta
+// command); ok is false for in-memory databases.
+func (d *DB) PagerStats() (pager.Stats, bool) { return d.e.PagerStats() }
 
 func convert(res *engine.Result, err error) (*sut.Result, error) {
 	if err != nil {

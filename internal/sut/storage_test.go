@@ -1,0 +1,165 @@
+package sut_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/storage/pager"
+	"repro/internal/sut"
+	"repro/internal/xerr"
+)
+
+// crashable is the recovery-oracle capability surface, re-declared here
+// the way callers discover it: structurally.
+type crashable interface {
+	Durable() bool
+	ArmCrash(pager.CrashPlan) bool
+	DisarmCrash()
+	CrashRecover(pager.CrashPlan) error
+}
+
+// TestPagerSessionLeavesNoArtifacts opens a durable session, works it,
+// and checks Close removes every file it created. TMPDIR is pinned to a
+// test-owned directory so concurrent test binaries cannot interfere.
+func TestPagerSessionLeavesNoArtifacts(t *testing.T) {
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+
+	db, err := sut.Open("", sut.Session{Dialect: dialect.SQLite, Storage: "pager"})
+	if err != nil {
+		t.Fatalf("open pager session: %v", err)
+	}
+	if _, err := db.Exec(`CREATE TABLE t0(c0 INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t0(c0) VALUES (1), (2)`); err != nil {
+		t.Fatal(err)
+	}
+	// The database files exist while the session is open.
+	dirs, err := filepath.Glob(filepath.Join(tmp, "pager-*"))
+	if err != nil || len(dirs) != 1 {
+		t.Fatalf("expected 1 pager dir under TMPDIR, found %v (err %v)", dirs, err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(dirs[0]); !os.IsNotExist(err) {
+		t.Fatalf("pager dir %s survived Close (stat err %v)", dirs[0], err)
+	}
+
+	// Artifacts are removed even when the session died to a simulated
+	// crash mid-lifecycle.
+	db, err = sut.Open("", sut.Session{Dialect: dialect.SQLite, Storage: "pager"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb := db.(crashable)
+	if _, err := db.Exec(`CREATE TABLE t0(c0 INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if !cdb.ArmCrash(pager.CrashPlan{Point: pager.BeforeSync, Mode: pager.LostTail}) {
+		t.Fatal("ArmCrash refused")
+	}
+	if _, err := db.Exec(`INSERT INTO t0(c0) VALUES (1)`); !xerr.Is(err, xerr.CodeIO) {
+		t.Fatalf("armed statement: %v, want CodeIO", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close after crash: %v", err)
+	}
+	if dirs, _ := filepath.Glob(filepath.Join(tmp, "pager-*")); len(dirs) != 0 {
+		t.Fatalf("crashed session left artifacts: %v", dirs)
+	}
+}
+
+// TestPagerSessionCapabilities checks the crash-capability surface: a
+// pager session is durable and recoverable, a memory session is neither.
+func TestPagerSessionCapabilities(t *testing.T) {
+	mem, err := sut.Open("", sut.Session{Dialect: dialect.SQLite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	if c, ok := mem.(crashable); ok && c.Durable() {
+		t.Fatal("memory session claims durability")
+	}
+
+	db, err := sut.Open("", sut.Session{Dialect: dialect.SQLite, Storage: "pager"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	cdb, ok := db.(crashable)
+	if !ok || !cdb.Durable() {
+		t.Fatal("pager session is not crashable/durable")
+	}
+	if _, err := db.Exec(`CREATE TABLE t0(c0 INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t0(c0) VALUES (1), (2), (3)`); err != nil {
+		t.Fatal(err)
+	}
+	// An after-sync power cut loses nothing on the sound pager.
+	if err := cdb.CrashRecover(pager.CrashPlan{Point: pager.AfterSync, Mode: pager.LostTail}); err != nil {
+		t.Fatalf("CrashRecover: %v", err)
+	}
+	if n := db.Introspect().RowCount("t0"); n != 3 {
+		t.Fatalf("rows after recovery: %d, want 3", n)
+	}
+}
+
+// TestPagerSessionEquivalence runs one statement list on a memory session
+// and a pager session: results must agree — the storage backend must be
+// invisible to SQL semantics.
+func TestPagerSessionEquivalence(t *testing.T) {
+	stmts := []string{
+		`CREATE TABLE t0(c0 INT, c1 TEXT)`,
+		`CREATE INDEX i0 ON t0(c0)`,
+		`INSERT INTO t0(c0, c1) VALUES (1, 'a'), (2, 'b'), (NULL, 'n')`,
+		`UPDATE t0 SET c1 = 'z' WHERE c0 = 2`,
+		`DELETE FROM t0 WHERE c0 IS NULL`,
+	}
+	query := `SELECT c0, c1 FROM t0 WHERE c0 >= 1`
+
+	run := func(storage string) [][]string {
+		db, err := sut.Open("", sut.Session{Dialect: dialect.SQLite, Storage: storage})
+		if err != nil {
+			t.Fatalf("storage %q: %v", storage, err)
+		}
+		defer db.Close()
+		for _, s := range stmts {
+			if _, err := db.Exec(s); err != nil {
+				t.Fatalf("storage %q: %s: %v", storage, s, err)
+			}
+		}
+		res, err := db.Query(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]string, len(res.Rows))
+		for i, r := range res.Rows {
+			out[i] = []string{r[0].Literal(), r[1].Literal()}
+		}
+		return out
+	}
+
+	mem, pg := run("memory"), run("pager")
+	if len(mem) != len(pg) {
+		t.Fatalf("row counts differ: memory %d, pager %d", len(mem), len(pg))
+	}
+	for i := range mem {
+		if mem[i][0] != pg[i][0] || mem[i][1] != pg[i][1] {
+			t.Fatalf("row %d differs: memory %v, pager %v", i, mem[i], pg[i])
+		}
+	}
+}
+
+// TestUnknownStorageRejected checks the session validates its storage
+// mode instead of silently running in memory.
+func TestUnknownStorageRejected(t *testing.T) {
+	_, err := sut.Open("", sut.Session{Dialect: dialect.SQLite, Storage: "floppy"})
+	if !xerr.Is(err, xerr.CodeUnsupported) {
+		t.Fatalf("unknown storage: err=%v, want CodeUnsupported", err)
+	}
+}

@@ -61,6 +61,13 @@ type Session struct {
 	// the backend supports one. Backends that are inherently string-based
 	// (sut/wire) always have wire fidelity.
 	WireFidelity bool
+	// Storage selects the storage backend of the database under test:
+	// "" or "memory" for the default in-memory heap, "pager" for the
+	// durable page-file + WAL backend with simulated-crash support (the
+	// recovery-equivalence oracle requires it). Backends that do not
+	// implement a storage mode reject unknown values with
+	// xerr.CodeUnsupported.
+	Storage string
 }
 
 // DB is one open database under test. Implementations serialize

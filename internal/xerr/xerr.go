@@ -48,6 +48,12 @@ const (
 	CodeCrash
 	// CodeBusy marks concurrency conflicts between sessions.
 	CodeBusy
+	// CodeIO marks a durable-storage I/O failure: the pager lost its
+	// backing files to a (simulated) power cut mid-commit, or a post-crash
+	// statement reached a dead pager. The recovery oracle treats these as
+	// the process dying, not as an engine bug — classification maps them
+	// to artifacts outside recovery campaigns.
+	CodeIO
 )
 
 // String names the code.
@@ -81,6 +87,8 @@ func (c Code) String() string {
 		return "crash"
 	case CodeBusy:
 		return "busy"
+	case CodeIO:
+		return "io"
 	default:
 		return fmt.Sprintf("code(%d)", uint8(c))
 	}
