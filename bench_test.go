@@ -1149,3 +1149,91 @@ func BenchmarkWALRecovery(b *testing.B) {
 	}
 	b.ReportMetric(float64(commits), "commits/recovery")
 }
+
+var (
+	hashJoinOnce    sync.Once
+	hashJoinSpeedup float64
+)
+
+// hashJoinBenchEngines builds the 1k x 1k equi-join workload on two
+// engines: join-strategy selection enabled and the -no-hashjoin nested
+// baseline. Every key matches exactly once, so the join yields 1000 rows
+// from a million-pair cross space — the shape where hashing pays most.
+func hashJoinBenchEngines(b *testing.B) (hashed, nested *engine.Engine) {
+	hashed = engine.Open(dialect.SQLite)
+	nested = engine.Open(dialect.SQLite, engine.WithoutHashJoin())
+	const rows = 1000
+	var stmts []string
+	for _, tbl := range []string{"jb0", "jb1"} {
+		stmts = append(stmts, fmt.Sprintf("CREATE TABLE %s(k INT, v TEXT)", tbl))
+		var sb strings.Builder
+		for i := 0; i < rows; i++ {
+			if i%200 == 0 {
+				if sb.Len() > 0 {
+					stmts = append(stmts, sb.String())
+				}
+				sb.Reset()
+				fmt.Fprintf(&sb, "INSERT INTO %s VALUES ", tbl)
+			} else {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 'v%d')", i, i)
+		}
+		stmts = append(stmts, sb.String())
+	}
+	for _, e := range []*engine.Engine{hashed, nested} {
+		for _, s := range stmts {
+			if _, err := e.Exec(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return hashed, nested
+}
+
+// BenchmarkHashJoin measures the join-strategy tentpole: a 1000x1000
+// equi-join through the hash join vs the forced nested loop. The
+// self-measured speedup is a CI tripwire: the acceptance target is >= 5x,
+// and the benchmark fails below it so a planner regression that silently
+// reverts joins to O(n*m) cannot land (the -benchtime=1x smoke runs this
+// on every push).
+func BenchmarkHashJoin(b *testing.B) {
+	hashed, nested := hashJoinBenchEngines(b)
+	sel, err := sqlparse.ParseOne(
+		"SELECT COUNT(*) FROM jb0 JOIN jb1 ON jb0.k = jb1.k", dialect.SQLite)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, e *engine.Engine) {
+		for i := 0; i < b.N; i++ {
+			res, err := e.ExecStmt(sel)
+			if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Int64() != 1000 {
+				b.Fatalf("rows=%v err=%v", res, err)
+			}
+		}
+	}
+	b.Run("hash", func(b *testing.B) { run(b, hashed) })
+	b.Run("nested-loop", func(b *testing.B) { run(b, nested) })
+	hashJoinOnce.Do(func() {
+		measure := func(e *engine.Engine, iters int) time.Duration {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if _, err := e.ExecStmt(sel); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return time.Since(start) / time.Duration(iters)
+		}
+		measure(hashed, 3) // warm both engines' compiled programs
+		measure(nested, 1)
+		ht := measure(hashed, 30)
+		nt := measure(nested, 3)
+		hashJoinSpeedup = float64(nt) / float64(ht)
+		printExperiment("hash-join", fmt.Sprintf(
+			"Equi-join (1k x 1k): hash %v/op vs nested loop %v/op -> %.0fx speedup\n",
+			ht, nt, hashJoinSpeedup))
+	})
+	if hashJoinSpeedup < 5 {
+		b.Errorf("hash join only %.1fx nested loop on 1k x 1k equi-join (acceptance target 5x)", hashJoinSpeedup)
+	}
+}

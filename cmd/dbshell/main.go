@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dbshell -dialect sqlite [-backend memengine|wire] [-storage pager] [-fault sqlite.partial-index-not-null] [-no-compile]
+//	dbshell -dialect sqlite [-backend memengine|wire] [-storage pager] [-fault sqlite.partial-index-not-null] [-no-compile] [-no-hashjoin]
 //
 // Statements end with ';'. Meta commands: .tables, .schema <t>,
 // .plan <select>, .oracle <name>, .snapshot, .restore, .reset,
@@ -53,6 +53,7 @@ func main() {
 		faultFlag   = flag.String("fault", "", "comma-separated faults to inject")
 		noPlanner   = flag.Bool("no-planner", false, "disable index access paths")
 		noCompile   = flag.Bool("no-compile", false, "disable compiled expression programs (tree-walk evaluation)")
+		noHashJoin  = flag.Bool("no-hashjoin", false, "disable hash/index-lookup join strategies (nested-loop joins only)")
 		storageFlag = flag.String("storage", "", "storage mode: memory (default) or pager (durable page file + WAL)")
 	)
 	flag.Parse()
@@ -62,7 +63,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sess := sut.Session{Dialect: d, NoPlanner: *noPlanner, NoCompile: *noCompile, Storage: *storageFlag}
+	sess := sut.Session{Dialect: d, NoPlanner: *noPlanner, NoCompile: *noCompile, NoHashJoin: *noHashJoin, Storage: *storageFlag}
 	if *faultFlag != "" {
 		fs := faults.NewSet()
 		for _, name := range strings.Split(*faultFlag, ",") {

@@ -28,7 +28,10 @@
 // memengine backend but re-renders and reparses every statement, for
 // parser coverage. -no-compile disables compiled expression programs so
 // A/B runs can compare the tree-walk evaluator (see DESIGN.md "Compiled
-// expression programs" and "Metamorphic oracles").
+// expression programs" and "Metamorphic oracles"). -no-hashjoin pins
+// every join level to the nested loop, ablating hash and index-lookup
+// join strategies (see DESIGN.md "Join execution & strategy selection");
+// the three sqlite/postgres hash-join faults are unreachable under it.
 //
 // -storage pager runs every session on the durable page-file + WAL
 // backend instead of in memory. The recovery-equivalence oracle
@@ -76,6 +79,7 @@ func main() {
 		storageFlag = flag.String("storage", "", "storage mode: memory (default) or pager (durable page file + WAL; required by the recovery oracle)")
 		wireFid     = flag.Bool("wire-fidelity", false, "render+reparse each statement instead of the AST fast path")
 		noCompile   = flag.Bool("no-compile", false, "disable compiled expression programs (tree-walk evaluation)")
+		noHashJoin  = flag.Bool("no-hashjoin", false, "disable hash/index-lookup join strategies (nested-loop joins only)")
 		corpusFlag  = flag.Bool("corpus", false, "sweep every registered fault of the dialect through one shared scheduler pool (-max-dbs is the per-fault budget)")
 		listFaults  = flag.Bool("list-faults", false, "print the fault registry and exit")
 	)
@@ -111,6 +115,7 @@ func main() {
 			Backend:      *backend,
 			WireFidelity: *wireFid,
 			NoCompile:    *noCompile,
+			NoHashJoin:   *noHashJoin,
 			Storage:      *storageFlag,
 		})
 		return
@@ -118,9 +123,9 @@ func main() {
 
 	switch *mode {
 	case "pqs":
-		runPQS(d, *faultFlag, *backend, *storageFlag, *wireFid, *noCompile, *maxDBs, *workers, *seed, *rows, *depth, *queries, *doReduce, parseOracles(*oracleFlag))
+		runPQS(d, *faultFlag, *backend, *storageFlag, *wireFid, *noCompile, *noHashJoin, *maxDBs, *workers, *seed, *rows, *depth, *queries, *doReduce, parseOracles(*oracleFlag))
 	case "fuzz":
-		runFuzz(d, *faultFlag, *backend, *storageFlag, *wireFid, *noCompile, *maxDBs, *seed, *queries)
+		runFuzz(d, *faultFlag, *backend, *storageFlag, *wireFid, *noCompile, *noHashJoin, *maxDBs, *seed, *queries)
 	case "diff":
 		if *wireFid {
 			// The differential baseline is already string-based end to
@@ -181,7 +186,7 @@ func parseOracles(list string) []string {
 	return out
 }
 
-func runPQS(d dialect.Dialect, faultName, backend, storage string, wireFid, noCompile bool, maxDBs, workers int, seed int64, rows, depth, queries int, doReduce bool, oracles []string) {
+func runPQS(d dialect.Dialect, faultName, backend, storage string, wireFid, noCompile, noHashJoin bool, maxDBs, workers int, seed int64, rows, depth, queries int, doReduce bool, oracles []string) {
 	res := runner.Run(runner.Campaign{
 		Dialect:      d,
 		Fault:        parseFault(faultName),
@@ -197,6 +202,7 @@ func runPQS(d dialect.Dialect, faultName, backend, storage string, wireFid, noCo
 			Backend:      backend,
 			WireFidelity: wireFid,
 			NoCompile:    noCompile,
+			NoHashJoin:   noHashJoin,
 			Storage:      storage,
 		},
 	})
@@ -242,13 +248,13 @@ func runCorpus(d dialect.Dialect, maxDBs, workers int, seed int64, doReduce bool
 		detected, len(results), databases, time.Since(start).Round(time.Millisecond))
 }
 
-func runFuzz(d dialect.Dialect, faultName, backend, storage string, wireFid, noCompile bool, maxDBs int, seed int64, queries int) {
+func runFuzz(d dialect.Dialect, faultName, backend, storage string, wireFid, noCompile, noHashJoin bool, maxDBs int, seed int64, queries int) {
 	var fs *faults.Set
 	if f := parseFault(faultName); f != "" {
 		fs = faults.NewSet(f)
 	}
 	for i := 0; i < maxDBs; i++ {
-		f := fuzz.New(fuzz.Config{Dialect: d, Seed: seed + int64(i), Faults: fs, QueriesPerDB: queries, Backend: backend, WireFidelity: wireFid, NoCompile: noCompile, Storage: storage})
+		f := fuzz.New(fuzz.Config{Dialect: d, Seed: seed + int64(i), Faults: fs, QueriesPerDB: queries, Backend: backend, WireFidelity: wireFid, NoCompile: noCompile, NoHashJoin: noHashJoin, Storage: storage})
 		bug, err := f.RunDatabase()
 		if err != nil {
 			fatal(err)

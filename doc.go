@@ -31,6 +31,14 @@
 // tree-walk interpreter for A/B runs. See DESIGN.md "Compiled expression
 // programs".
 //
+// Joins pick a per-level strategy — hash join, index lookup, or nested
+// loop — from estimated cardinalities, with collation/affinity-correct
+// key normalization and full ON re-verification on every candidate pair;
+// EXPLAIN QUERY PLAN surfaces the choice. The Session.NoHashJoin option —
+// `-no-hashjoin` on the CLIs, DSN `hashjoin=off` — pins every level to
+// the nested loop, and three injectable hash-join faults ride inside the
+// ablated code. See DESIGN.md "Join execution & strategy selection".
+//
 // Databases can live on a durable storage backend
 // (internal/storage/pager): a page file plus write-ahead log with
 // checksummed pages, crash recovery on open, and simulated-power-cut

@@ -60,6 +60,9 @@ type Config struct {
 	// UseEngineAsOracle ablation's pivot checks fall back to tree walks
 	// too. See DESIGN.md "Compiled expression programs".
 	NoCompile bool
+	// NoHashJoin pins every join level to the nested-loop operator (the
+	// `-no-hashjoin` A/B baseline; see DESIGN.md "Join execution").
+	NoHashJoin bool
 
 	// MaxExprDepth bounds generated expression trees (Algorithm 1's
 	// maxdepth). Default 3.
@@ -207,6 +210,7 @@ func (c Config) Session() sut.Session {
 		Faults:       c.Faults,
 		WireFidelity: c.WireFidelity,
 		NoCompile:    c.NoCompile,
+		NoHashJoin:   c.NoHashJoin,
 		Storage:      c.Storage,
 	}
 }
@@ -804,11 +808,21 @@ func (t *Tester) buildQuery(ctx *interp.Context, pivots []pivotRow, cols []gen.C
 	}
 
 	// FROM and JOIN clauses. With multiple tables, sometimes express one
-	// as JOIN ... ON <rectified-TRUE condition>.
+	// as JOIN ... ON <rectified-TRUE condition>, preferring plain
+	// column-equality ON conditions that hold on the pivot pair — the
+	// shape the planner turns into hash or index-lookup joins.
 	sel.From = []sqlast.TableRef{{Name: pivots[0].table}}
+	placed := map[string]bool{pivots[0].table: true}
 	for _, p := range pivots[1:] {
 		if t.rnd.Bool(0.3) {
-			on, ok := t.rectifiedCondition(ctx, cols, hints)
+			var on sqlast.Expr
+			ok := false
+			if t.rnd.Bool(0.6) {
+				on, ok = t.equiJoinOn(ctx, cols, hints, placed, p.table)
+			}
+			if !ok {
+				on, ok = t.rectifiedCondition(ctx, cols, hints)
+			}
 			if !ok {
 				on = sqlast.Lit(trueLiteral(t.cfg.Dialect))
 			}
@@ -823,9 +837,11 @@ func (t *Tester) buildQuery(ctx *interp.Context, pivots []pivotRow, cols []gen.C
 				Table: sqlast.TableRef{Name: p.table},
 				On:    on,
 			})
+			placed[p.table] = true
 			continue
 		}
 		sel.From = append(sel.From, sqlast.TableRef{Name: p.table})
+		placed[p.table] = true
 	}
 
 	// Random query keywords (step 5: "we randomly select appropriate
@@ -850,6 +866,70 @@ func (t *Tester) buildQuery(ctx *interp.Context, pivots []pivotRow, cols []gen.C
 		}
 	}
 	return sel, expected, nil
+}
+
+// equiJoinOn builds a `placed.a = joining.b` ON condition that evaluates
+// TRUE on the pivot pair, so the pivot combo stays matched and containment
+// holds. On SQLite it prefers text pairs that are equal only under NOCASE
+// or RTRIM and pins that collation explicitly — exactly the keys a
+// collation-blind hash-join key builder mishandles. Returns false when no
+// pivot-true equality exists between the placed tables and the one being
+// joined.
+func (t *Tester) equiJoinOn(ctx *interp.Context, cols []gen.ColumnPick, hints []sqlval.Value, placed map[string]bool, joining string) (sqlast.Expr, bool) {
+	if len(hints) < len(cols) {
+		return nil, false
+	}
+	evalExpr, _ := t.condOracle(ctx)
+	type cand struct {
+		x       sqlast.Expr
+		variant bool // equal only under an explicit non-binary collation
+	}
+	var cands []cand
+	for i, ca := range cols {
+		if !placed[ca.Table] {
+			continue
+		}
+		for j, cb := range cols {
+			if cb.Table != joining {
+				continue
+			}
+			l := sqlast.Col(ca.Table, ca.Column.Name)
+			var r sqlast.Expr = sqlast.Col(cb.Table, cb.Column.Name)
+			variant := false
+			va, vb := hints[i], hints[j]
+			if t.cfg.Dialect == dialect.SQLite &&
+				va.Kind() == sqlval.KText && vb.Kind() == sqlval.KText && va.Str() != vb.Str() {
+				switch a, b := va.Str(), vb.Str(); {
+				case strings.EqualFold(a, b):
+					r = &sqlast.Collate{X: r, Coll: sqlval.CollNoCase}
+					variant = true
+				case strings.TrimRight(a, " ") == strings.TrimRight(b, " "):
+					r = &sqlast.Collate{X: r, Coll: sqlval.CollRTrim}
+					variant = true
+				}
+			}
+			x := &sqlast.Binary{Op: sqlast.OpEq, L: l, R: r}
+			if tb, err := evalExpr(x); err != nil || tb != sqlval.TriTrue {
+				continue
+			}
+			cands = append(cands, cand{x: x, variant: variant})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, false
+	}
+	// Collation-variant keys are the interesting ones; take one when found.
+	var variants []cand
+	for _, c := range cands {
+		if c.variant {
+			variants = append(variants, c)
+		}
+	}
+	pool := cands
+	if len(variants) > 0 {
+		pool = variants
+	}
+	return pool[t.rnd.Intn(len(pool))].x, true
 }
 
 func trueLiteral(d dialect.Dialect) sqlval.Value {

@@ -7,6 +7,7 @@
 //	db, _ := sql.Open("pqs", "mysql?fault=mysql.double-negation,mysql.set-option-error")
 //	db, _ := sql.Open("pqs", "sqlite?planner=off")
 //	db, _ := sql.Open("pqs", "sqlite?compile=off")
+//	db, _ := sql.Open("pqs", "sqlite?hashjoin=off")
 //	db, _ := sql.Open("pqs", "sqlite?storage=pager")
 //
 // storage=pager opens the connection on the durable page-file + WAL
@@ -83,6 +84,14 @@ func (*Driver) Open(dsn string) (driver.Conn, error) {
 				case "on": // the default; accepted for symmetry
 				default:
 					return nil, fmt.Errorf("pqs driver: compile=%q (want on or off)", v)
+				}
+			case "hashjoin":
+				switch v {
+				case "off":
+					opts = append(opts, engine.WithoutHashJoin())
+				case "on": // the default; accepted for symmetry
+				default:
+					return nil, fmt.Errorf("pqs driver: hashjoin=%q (want on or off)", v)
 				}
 			case "storage":
 				switch v {

@@ -62,6 +62,7 @@ type Engine struct {
 	caseSensitiveLike bool
 	noPlanner         bool // force full scans (differential-test baseline)
 	noCompile         bool // force tree-walk evaluation (compiled-eval baseline)
+	noHashJoin        bool // force nested-loop joins (hash-join baseline)
 	skipIndexMaint    bool // stale-index fault: storeRow leaves indexes untouched
 	globals           map[string]sqlval.Value
 
@@ -109,6 +110,13 @@ func WithoutPlanner() Option {
 // compiled-vs-interpreted differential suites.
 func WithoutCompiledEval() Option {
 	return func(e *Engine) { e.noCompile = true }
+}
+
+// WithoutHashJoin disables join-strategy selection: every join level runs
+// as a nested loop. This is the `hashjoin=off` escape hatch for A/B runs
+// and the baseline half of the hash-vs-nested differential suites.
+func WithoutHashJoin() Option {
+	return func(e *Engine) { e.noHashJoin = true }
 }
 
 // Open creates an empty database for the dialect.

@@ -60,10 +60,33 @@ type AccessPath struct {
 	// candidate rows the path visits.
 	Cost    float64
 	EstRows int
+	// Join names the strategy joining this relation to the ones before it
+	// ("HASH", "INDEX LOOKUP", "NESTED LOOP"); empty for the driving
+	// relation and single-source queries. JoinCond renders the equality
+	// keys (plus the probed index for lookups); JoinCost is the strategy's
+	// estimated cost at planner row counts. The executor re-runs the same
+	// choice with actual intermediate sizes — and, on Postgres, a runtime
+	// value-class prescan — so a level shown as HASH here may still fall
+	// back to the nested loop.
+	Join     string
+	JoinCond string
+	JoinCost float64
 }
 
 // Detail renders the path in EXPLAIN QUERY PLAN style.
 func (p AccessPath) Detail() string {
+	s := p.scanDetail()
+	if p.Join != "" {
+		s += " JOIN USING " + p.Join
+		if p.JoinCond != "" {
+			s += " (" + p.JoinCond + ")"
+		}
+		s += fmt.Sprintf(" (cost=%.1f)", p.JoinCost)
+	}
+	return s
+}
+
+func (p AccessPath) scanDetail() string {
 	switch p.Kind {
 	case PathIndexEq:
 		return fmt.Sprintf("SEARCH %s USING INDEX %s (%s=?) (cost=%.1f rows=%d)",
@@ -472,7 +495,100 @@ func (e *Engine) planSelect(sel *sqlast.Select) ([]AccessPath, error) {
 		// FROM-less SELECT: a single constant row.
 		out = append(out, AccessPath{Table: "(no table)", Kind: PathFullScan})
 	}
+	if len(refs) > 1 {
+		e.annotateJoins(sel, out)
+	}
 	return out, nil
+}
+
+// annotateJoins runs the executor's per-level join analysis and strategy
+// choice over planner row estimates and records the result on each joined
+// relation's access path. Views contribute their declared columns but no
+// rows (EXPLAIN never executes a view), so their row estimate is zero.
+func (e *Engine) annotateJoins(sel *sqlast.Select, out []AccessPath) {
+	rels, joins := e.headerRelations(sel)
+	if rels == nil || len(rels) != len(out) {
+		return
+	}
+	crossOK := e.crossPrefilterOK(sel, rels)
+	estL := float64(out[0].EstRows)
+	for i := 1; i < len(rels); i++ {
+		r := float64(out[i].EstRows)
+		a := e.analyzeJoin(sel, rels, joins[i-1], i, crossOK)
+		strat, cost := JoinNested, joinCost(JoinNested, estL, r)
+		if a != nil {
+			strat, cost = chooseJoinStrategy(a, estL, r)
+		}
+		out[i].Join = strat.String()
+		out[i].JoinCond = renderJoinKeys(a, rels, i, strat)
+		out[i].JoinCost = cost
+		// Intermediate-size estimate: equi-joins keep at most one match per
+		// key on the dominant side; cross/theta levels multiply.
+		if a != nil {
+			estL = math.Max(estL, r)
+		} else {
+			estL *= r
+		}
+	}
+}
+
+// headerRelations builds column-metadata-only relations for planning: same
+// shape the executor resolves, minus row materialization. Returns nil when
+// a source does not resolve (execution will raise the error instead).
+func (e *Engine) headerRelations(sel *sqlast.Select) ([]*relation, []joinInfo) {
+	var rels []*relation
+	var joins []joinInfo
+	add := func(tr sqlast.TableRef) bool {
+		t, ok := e.cat.Table(tr.Name)
+		if !ok {
+			return false
+		}
+		name := tr.Name
+		if tr.Alias != "" {
+			name = tr.Alias
+		}
+		table := t.Name
+		if t.IsView {
+			table = ""
+		}
+		rels = append(rels, &relation{name: name, table: table, columns: t.Columns, engine: t.Engine})
+		return true
+	}
+	for _, tr := range sel.From {
+		if !add(tr) {
+			return nil, nil
+		}
+		if len(rels) > 1 {
+			joins = append(joins, joinInfo{kind: sqlast.JoinCross})
+		}
+	}
+	for _, jc := range sel.Joins {
+		if !add(jc.Table) {
+			return nil, nil
+		}
+		joins = append(joins, joinInfo{kind: jc.Kind, on: jc.On})
+	}
+	return rels, joins
+}
+
+// renderJoinKeys formats a join analysis's equality keys for EXPLAIN.
+func renderJoinKeys(a *joinAnalysis, rels []*relation, level int, strat JoinStrategy) string {
+	if a == nil {
+		return ""
+	}
+	key := func(k equiKey) string {
+		return fmt.Sprintf("%s.%s = %s.%s",
+			rels[k.lRel].name, rels[k.lRel].columns[k.lCol].Name,
+			rels[level].name, rels[level].columns[k.rCol].Name)
+	}
+	if strat == JoinIndexLookup && a.idx != nil {
+		return "INDEX " + a.idx.Name + ": " + key(a.idxKey)
+	}
+	parts := make([]string, 0, len(a.keys))
+	for _, k := range a.keys {
+		parts = append(parts, key(k))
+	}
+	return strings.Join(parts, " AND ")
 }
 
 // plannable reports whether index access paths may serve a table: views

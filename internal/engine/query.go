@@ -448,12 +448,20 @@ func (e *Engine) joinRows(n *sqlast.Select, rels []*relation, joins []joinInfo) 
 		combos[ri] = backing[ri : ri+1 : ri+1]
 	}
 	scratch := make([]*rowVals, 0, len(rels))
+	var arena comboArena
+	// spare recycles the previous level's combo-header array: once a level
+	// has been consumed as input, its [][]*rowVals backing becomes the
+	// append target for the next level's output.
+	var spare [][]*rowVals
+	crossOK := e.crossPrefilterOK(n, rels)
 	for i := 1; i < len(rels); i++ {
 		j := joins[i-1]
 		// The ON condition is bound once per join level — against the
 		// layout prefix visible at this level, so unqualified-name
 		// resolution (and its ambiguity rules) match the tree-walk env —
-		// and the resulting closure runs per row pair.
+		// and the resulting closure runs per row pair. Binding happens
+		// before strategy dispatch so compile-time errors (missing or
+		// ambiguous columns) are identical on every join path.
 		var onEval *exprEval
 		var onTest func() (sqlval.TriBool, error)
 		if j.on != nil {
@@ -464,47 +472,36 @@ func (e *Engine) joinRows(n *sqlast.Select, rels []*relation, joins []joinInfo) 
 				return nil, err
 			}
 		}
-		next := make([][]*rowVals, 0, len(combos))
-		for _, combo := range combos {
-			matched := false
-			for _, row := range rels[i].rows {
-				if j.on != nil {
-					// Evaluate the ON condition against a reused scratch
-					// combo; a fresh slice is materialized only for kept
-					// rows.
-					scratch = append(append(scratch[:0], combo...), row)
-					onEval.setRow(scratch)
-					tb, err := onTest()
-					if err != nil {
-						return nil, err
-					}
-					if tb != sqlval.TriTrue {
-						continue
-					}
-				}
-				// Fault site (postgres.left-join-drop), part 2: a
-				// matched LEFT JOIN row carrying a NULL on the right
-				// side is misclassified as unmatched and dropped.
-				if j.kind == sqlast.JoinLeft && e.d == dialect.Postgres &&
-					e.fs.Has(faults.LeftJoinDrop) && hasNullVal(row) {
-					matched = true
-					continue
-				}
-				matched = true
-				cand := make([]*rowVals, len(combo)+1)
-				copy(cand, combo)
-				cand[len(combo)] = row
-				next = append(next, cand)
-			}
-			if !matched && j.kind == sqlast.JoinLeft {
-				// Fault site (postgres.left-join-drop), part 1: LEFT
-				// JOIN behaves as INNER and drops the unmatched left row.
-				if e.d == dialect.Postgres && e.fs.Has(faults.LeftJoinDrop) {
-					continue
-				}
-				next = append(next, append(append([]*rowVals{}, combo...), nil))
+		// Strategy selection: hash or index-lookup when the level has
+		// usable equality keys and the cost model favors them; the nested
+		// loop otherwise (see join.go for the eligibility rules).
+		a := e.analyzeJoin(n, rels, j, i, crossOK)
+		strat := JoinNested
+		if a != nil {
+			strat, _ = chooseJoinStrategy(a, float64(len(combos)), float64(len(rels[i].rows)))
+			if strat == JoinHash && e.d == dialect.Postgres &&
+				!pgJoinClassesCompatible(a, rels, i) {
+				strat = JoinNested
 			}
 		}
+		lv := &joinLevel{n: n, rels: rels, level: i, j: j,
+			onEval: onEval, onTest: onTest, arena: &arena, scratch: &scratch}
+		var next [][]*rowVals
+		var err error
+		switch strat {
+		case JoinHash:
+			e.cov.hit("join.hash")
+			next, err = e.hashJoinLevel(lv, a, combos, spare[:0])
+		case JoinIndexLookup:
+			e.cov.hit("join.index-lookup")
+			next, err = e.indexJoinLevel(lv, a, combos, spare[:0])
+		default:
+			next, err = e.nestedJoinLevel(lv, combos, spare[:0])
+		}
+		if err != nil {
+			return nil, err
+		}
+		spare = combos
 		combos = next
 	}
 

@@ -155,6 +155,14 @@ func (ev *Evaluator) Truthy(v sqlval.Value) (sqlval.TriBool, error) {
 	return sqlval.TriOf(n.AsFloat() != 0), nil
 }
 
+// Numeric exposes the engine's lossy numeric coercion (text → longest
+// numeric prefix) for callers that must agree with comparison semantics
+// byte-for-byte — the hash-join key builder normalizes MySQL keys through
+// it so bucket equality coarsens the evaluator's coercing equality.
+func Numeric(v sqlval.Value) sqlval.Value {
+	return (&Evaluator{}).numeric(v)
+}
+
 // numeric is the engine's lossy numeric coercion (text → longest numeric
 // prefix). Independent implementation of the same specification as
 // interp.ToNumeric.

@@ -149,6 +149,21 @@ const (
 	// drops its first matching row — exactly the optimized-query shape
 	// NoREC compares against the unoptimized predicate projection.
 	NorecCountMismatch Fault = "sqlite.norec-count-mismatch"
+
+	// Hash-join faults (PR 8): each lives inside the hash-join operator,
+	// so it only fires on join levels the planner routes through the hash
+	// path — and vanishes entirely under hashjoin=off.
+
+	// HashJoinCollation: the hash key builder skips collation
+	// canonicalization, so NOCASE/RTRIM-equal join-key variants land in
+	// different buckets and their matches silently vanish (§4.4
+	// collation class, transplanted into the join operator).
+	HashJoinCollation Fault = "sqlite.hash-join-collation"
+	// HashJoinNullKey: NULL join keys bucket under a shared sentinel and
+	// skip residual verification, so NULL spuriously equals NULL in
+	// filtered queries — extra rows PQS's containment check is
+	// structurally blind to.
+	HashJoinNullKey Fault = "sqlite.hash-join-null-key"
 )
 
 // MySQL-dialect faults.
@@ -206,6 +221,11 @@ const (
 	// LeftJoinDrop: LEFT JOIN behaves as INNER JOIN and drops unmatched
 	// left rows (join-semantics class).
 	LeftJoinDrop Fault = "postgres.left-join-drop"
+	// HashLeftJoinDrop: the hash LEFT JOIN forgets to NULL-extend
+	// unmatched preserved combos in filtered queries — they vanish
+	// instead of surviving with NULLs (join-semantics class, hash-path
+	// variant of left-join-drop that only TLP's filtered partitions see).
+	HashLeftJoinDrop Fault = "postgres.hash-left-join-drop"
 )
 
 // Cross-dialect faults (injected into shared executor code; each campaign
@@ -292,6 +312,8 @@ func init() {
 		{UnionAllDedup, sq, ClassSemantics, OracleTLP, true, "NoREC/TLP class", "UNION ALL deduplicates its concatenation like UNION"},
 		{AggEmptyGroup, sq, ClassSemantics, OracleTLP, true, "NoREC/TLP class", "aggregate over an empty filtered input returns a phantom value"},
 		{NorecCountMismatch, sq, ClassOptimization, OracleNoREC, true, "NoREC/TLP class", "star-projection SELECT with WHERE drops its first matching row"},
+		{HashJoinCollation, sq, ClassOptimization, OracleContainment, true, "§4.4 class", "hash join hashes NOCASE keys case-sensitively, dropping case-variant matches"},
+		{HashJoinNullKey, sq, ClassOptimization, OracleTLP, true, "NoREC/TLP class", "hash join matches NULL keys spuriously in filtered queries"},
 
 		{MemoryEngineCast, my, ClassTyping, OracleContainment, true, "Listing 11", "MEMORY engine evaluates CAST AS UNSIGNED comparisons wrong"},
 		{UnsignedCompare, my, ClassTyping, OracleContainment, true, "§4.5", "UNSIGNED column vs negative constant coerces the constant"},
@@ -310,6 +332,7 @@ func init() {
 		{BoolIndexScan, pg, ClassIndex, OracleContainment, true, "§4.6 class", "partial boolean index consulted with inverted polarity"},
 		{StrictCastCrash, pg, ClassCrash, OracleCrash, false, "§4.6 class", "planner crash on nested cast in index expression"},
 		{LeftJoinDrop, pg, ClassSemantics, OracleContainment, true, "§4 class", "LEFT JOIN drops unmatched left rows"},
+		{HashLeftJoinDrop, pg, ClassSemantics, OracleTLP, true, "§4 class", "hash LEFT JOIN drops unmatched preserved rows in filtered queries"},
 
 		{WhereTrueDrop, sq, ClassOptimization, OracleContainment, true, "§4 class", "filter loop skips first matching row under OR of indexed column"},
 		{DistinctCollation, sq, ClassSemantics, OracleContainment, true, "§4 class", "DISTINCT dedups case-insensitively on BINARY columns"},

@@ -9,8 +9,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 46 {
-		t.Fatalf("registry has %d faults, want 46", len(all))
+	if len(all) != 49 {
+		t.Fatalf("registry has %d faults, want 49", len(all))
 	}
 	valid := map[Oracle]bool{
 		OracleContainment: true, OracleError: true, OracleCrash: true,

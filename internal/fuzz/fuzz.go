@@ -33,6 +33,9 @@ type Config struct {
 	// NoCompile disables the engine's compiled expression programs
 	// (tree-walk evaluation; the -no-compile escape hatch).
 	NoCompile bool
+	// NoHashJoin pins every join level to the nested loop (the
+	// -no-hashjoin escape hatch).
+	NoHashJoin bool
 }
 
 // Fuzzer drives random statements at the engine and watches for crashes
@@ -66,6 +69,7 @@ func (f *Fuzzer) RunDatabase() (*core.Bug, error) {
 		Faults:       f.cfg.Faults,
 		WireFidelity: f.cfg.WireFidelity,
 		NoCompile:    f.cfg.NoCompile,
+		NoHashJoin:   f.cfg.NoHashJoin,
 		Storage:      f.cfg.Storage,
 	})
 	if err != nil {

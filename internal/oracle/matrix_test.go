@@ -170,6 +170,9 @@ func TestOracleRouting(t *testing.T) {
 		faults.UnionAllDedup:        "tlp",
 		faults.AggEmptyGroup:        "tlp",
 		faults.NorecCountMismatch:   "norec",
+		faults.HashJoinCollation:    "pqs",
+		faults.HashJoinNullKey:      "tlp",
+		faults.HashLeftJoinDrop:     "tlp",
 		faults.PagerLostFlush:       "recovery",
 		faults.PagerTornPageAccept:  "recovery",
 		faults.PagerTruncatedReplay: "recovery",

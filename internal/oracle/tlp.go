@@ -45,6 +45,15 @@ func (o *tlp) Check(db sut.DB, env *Env) (*Report, error) {
 	if !ok {
 		return nil, nil
 	}
+	// Join-shaped variant: partition a two-table equi-join query. The
+	// partitions apply after the join, so they stay exhaustive — and the
+	// shape exercises the engine's join-strategy selection (hash joins in
+	// particular) under a WHERE clause, which single-table TLP never does.
+	if env.Rnd.Bool(0.4) {
+		if rep, err, built := o.checkJoin(db, env, table, info); built {
+			return rep, err
+		}
+	}
 	eg := &gen.ExprGen{
 		Rnd:      env.Rnd,
 		Cols:     columnPicks(table, info),
@@ -56,6 +65,96 @@ func (o *tlp) Check(db sut.DB, env *Env) (*Report, error) {
 		return o.checkAgg(db, env, table, info, pred)
 	}
 	return PartitionCheck(db, env, table, gen.ColumnSubset(env.Rnd, info), pred)
+}
+
+// checkJoin runs the WHERE variant over `t1 [LEFT] JOIN t2 ON a = b`. The
+// third return is false when no join shape could be built (single-table
+// database) and the caller should fall back to the single-table variants.
+func (o *tlp) checkJoin(db sut.DB, env *Env, t1 string, info1 schema.TableInfo) (*Report, error, bool) {
+	t2, info2, ok := pickJoinPartner(db, env.Rnd, t1)
+	if !ok {
+		return nil, nil, false
+	}
+	c1, c2, ok := pickJoinKeys(env.Rnd, info1, info2)
+	if !ok {
+		return nil, nil, false
+	}
+	kind := sqlast.JoinInner
+	if env.Rnd.Bool(0.45) {
+		kind = sqlast.JoinLeft
+	}
+	on := &sqlast.Binary{Op: sqlast.OpEq, L: sqlast.Col(t1, c1), R: sqlast.Col(t2, c2)}
+	picks := append(columnPicks(t1, info1), columnPicks(t2, info2)...)
+	eg := &gen.ExprGen{
+		Rnd:      env.Rnd,
+		Cols:     picks,
+		Hints:    env.Hints,
+		MaxDepth: depthOf(o.opts, env),
+	}
+	pred := eg.Generate()
+	mk := func(where sqlast.Expr) *sqlast.Select {
+		sel := &sqlast.Select{
+			From:  []sqlast.TableRef{{Name: t1}},
+			Joins: []sqlast.JoinClause{{Kind: kind, Table: sqlast.TableRef{Name: t2}, On: on}},
+			Where: where,
+		}
+		for _, c := range info1.Columns {
+			sel.Cols = append(sel.Cols, sqlast.ResultCol{X: sqlast.Col(t1, c.Name)})
+		}
+		for _, c := range info2.Columns {
+			sel.Cols = append(sel.Cols, sqlast.ResultCol{X: sqlast.Col(t2, c.Name)})
+		}
+		return sel
+	}
+	rep, err := comparePartitions(db, env, t1+" JOIN "+t2, mk, pred)
+	return rep, err, true
+}
+
+// pickJoinPartner picks a second, distinct, preferably non-empty table.
+func pickJoinPartner(db sut.DB, rnd *gen.Rand, exclude string) (string, schema.TableInfo, bool) {
+	intro := db.Introspect()
+	var pool []string
+	for _, t := range intro.Tables() {
+		if t != exclude && intro.RowCount(t) > 0 {
+			pool = append(pool, t)
+		}
+	}
+	if len(pool) == 0 {
+		return "", schema.TableInfo{}, false
+	}
+	name := pool[rnd.Intn(len(pool))]
+	info, err := intro.Describe(name)
+	if err != nil || len(info.Columns) == 0 {
+		return "", schema.TableInfo{}, false
+	}
+	return name, info, true
+}
+
+// pickJoinKeys picks one column per table for the equi-join key, preferring
+// pairs of matching type category: strictly-typed dialects reject (and the
+// hash path's class prescan declines) cross-class equality, so matched
+// pairs are the ones that actually exercise the join operators.
+func pickJoinKeys(rnd *gen.Rand, info1, info2 schema.TableInfo) (string, string, bool) {
+	if len(info1.Columns) == 0 || len(info2.Columns) == 0 {
+		return "", "", false
+	}
+	type pair struct{ a, b string }
+	var matched []pair
+	for _, a := range info1.Columns {
+		ca := gen.CategoryOfType(a.TypeName)
+		for _, b := range info2.Columns {
+			if ca != gen.CatAny && ca == gen.CategoryOfType(b.TypeName) {
+				matched = append(matched, pair{a.Name, b.Name})
+			}
+		}
+	}
+	if len(matched) > 0 && rnd.Bool(0.9) {
+		p := matched[rnd.Intn(len(matched))]
+		return p.a, p.b, true
+	}
+	a := info1.Columns[rnd.Intn(len(info1.Columns))].Name
+	b := info2.Columns[rnd.Intn(len(info2.Columns))].Name
+	return a, b, true
 }
 
 // partitions returns the three exhaustive WHERE conditions of p.
@@ -82,6 +181,13 @@ func PartitionCheck(db sut.DB, env *Env, table string, cols []string, pred sqlas
 		}
 		return sel
 	}
+	return comparePartitions(db, env, table, mk, pred)
+}
+
+// comparePartitions executes mk(nil) against the UNION ALL of mk over the
+// three partitions of pred and reports any multiset deviation. shape names
+// the query source for the report message.
+func comparePartitions(db sut.DB, env *Env, shape string, mk func(sqlast.Expr) *sqlast.Select, pred sqlast.Expr) (*Report, error) {
 	orig := mk(nil)
 	parts := partitions(pred)
 	comp := &sqlast.Compound{
@@ -102,7 +208,7 @@ func PartitionCheck(db sut.DB, env *Env, table string, cols []string, pred sqlas
 			DetectedBy: "tlp",
 			Message: fmt.Sprintf(
 				"TLP partition mismatch on %s: unpartitioned query returned %d rows, UNION ALL of partitions %d",
-				table, len(origRes.Rows), len(compRes.Rows)),
+				shape, len(origRes.Rows), len(compRes.Rows)),
 			Trace:   append(env.SetupTrace(), sqlast.SQL(comp, env.Dialect)),
 			Compare: sqlast.SQL(orig, env.Dialect),
 		}, nil

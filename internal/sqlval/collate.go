@@ -57,6 +57,19 @@ func CollCompare(a, b string, c Collation) int {
 	return strings.Compare(a, b)
 }
 
+// CollKey returns the canonical form of a string under a collation: two
+// strings compare equal under CollCompare iff their keys are byte-equal.
+// Hash-join buckets and other hashed groupings key on this form.
+func CollKey(s string, c Collation) string {
+	switch c {
+	case CollNoCase:
+		return foldASCII(s)
+	case CollRTrim:
+		return strings.TrimRight(s, " ")
+	}
+	return s
+}
+
 // foldASCII lowercases ASCII letters only, matching SQLite's NOCASE, which
 // does not fold non-ASCII characters.
 func foldASCII(s string) string {

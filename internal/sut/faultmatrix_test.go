@@ -8,6 +8,7 @@ import (
 	"repro/internal/dialect"
 	"repro/internal/faults"
 	"repro/internal/oracle"
+	"repro/internal/reduce"
 	"repro/internal/runner"
 )
 
@@ -16,7 +17,7 @@ import (
 // the session in wire-fidelity mode (render→reparse, the pre-boundary
 // string round trip), each under the testing oracle its registry entry
 // routes to. Together with runner's TestFullCorpusDetectable — which
-// sweeps the same 46-fault matrix through the default ExecAST fast path —
+// sweeps the same 49-fault matrix through the default ExecAST fast path —
 // this proves both execution modes of the API detect the whole corpus
 // (including TLP's UNION ALL compounds surviving render→reparse).
 func TestFaultMatrixWireFidelity(t *testing.T) {
@@ -47,12 +48,12 @@ func TestFaultMatrixWireFidelity(t *testing.T) {
 			})
 		}
 	}
-	if total != 46 {
-		t.Errorf("fault registry has %d faults, matrix expects 46", total)
+	if total != 49 {
+		t.Errorf("fault registry has %d faults, matrix expects 49", total)
 	}
 }
 
-// TestFaultMatrixCompiledParity sweeps the same 46-fault matrix through
+// TestFaultMatrixCompiledParity sweeps the same 49-fault matrix through
 // the ExecAST fast path twice — once with compiled expression programs
 // (the default since the compiled-eval tentpole) and once with the
 // -no-compile tree walk — proving detection parity: compilation changes
@@ -139,5 +140,102 @@ func TestCampaignThroughWireBackend(t *testing.T) {
 	}
 	if res.Bug.Oracle != faults.OracleContainment {
 		t.Errorf("oracle = %s, want containment", res.Bug.Oracle)
+	}
+}
+
+// hashJoinFaults are the three faults injected inside the hash-join
+// machinery itself: with -no-hashjoin the faulty code never runs, so the
+// faults must be unreachable (the ablation is also their bisection tool).
+var hashJoinFaults = map[faults.Fault]bool{
+	faults.HashJoinCollation: true,
+	faults.HashJoinNullKey:   true,
+	faults.HashLeftJoinDrop:  true,
+}
+
+// TestFaultMatrixHashJoinParity sweeps the 49-fault matrix with hash and
+// index-lookup joins ablated (NoHashJoin). The 46 pre-hash-join faults
+// must keep firing — strategy selection changes how joins execute, never
+// what they return — while the three hash-path faults must go quiet,
+// proving they live in exactly the code the ablation removes. (The
+// hashjoin-on half of the parity claim is the existing
+// TestFaultMatrixWireFidelity / TestFullCorpusDetectable sweeps.)
+func TestFaultMatrixHashJoinParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault matrix sweep is not short")
+	}
+	for _, d := range dialect.All {
+		for _, info := range faults.ForDialect(d) {
+			info := info
+			d := d
+			t.Run(string(info.ID), func(t *testing.T) {
+				t.Parallel()
+				budget := 1500
+				if hashJoinFaults[info.ID] {
+					budget = 300
+				}
+				res := runner.Run(runner.Campaign{
+					Dialect:      d,
+					Fault:        info.ID,
+					MaxDatabases: budget,
+					Workers:      2,
+					BaseSeed:     1,
+					Oracles:      []string{oracle.ForFault(info)},
+					Tester:       core.Config{NoHashJoin: true},
+				})
+				if hashJoinFaults[info.ID] {
+					if res.Detected {
+						t.Fatalf("hash-path fault %s detected with hash joins ablated:\n  %s",
+							info.ID, strings.Join(res.Bug.Trace, ";\n  "))
+					}
+					return
+				}
+				if !res.Detected {
+					t.Fatalf("fault %s not detected with -no-hashjoin in %d databases",
+						info.ID, res.Databases)
+				}
+			})
+		}
+	}
+}
+
+// TestHashJoinFaultReduction proves the three hash-join faults reduce to
+// replayable repro scripts, like the rest of the corpus: the reducer's
+// checker must reproduce on a faulty engine and stay quiet on a clean one.
+func TestHashJoinFaultReduction(t *testing.T) {
+	for _, tc := range []struct {
+		fault   faults.Fault
+		dialect dialect.Dialect
+		oracle  string
+	}{
+		{faults.HashJoinCollation, dialect.SQLite, "pqs"},
+		{faults.HashJoinNullKey, dialect.SQLite, "tlp"},
+		{faults.HashLeftJoinDrop, dialect.Postgres, "tlp"},
+	} {
+		tc := tc
+		t.Run(string(tc.fault), func(t *testing.T) {
+			t.Parallel()
+			res := runner.Run(runner.Campaign{
+				Dialect:      tc.dialect,
+				Fault:        tc.fault,
+				MaxDatabases: 1500,
+				BaseSeed:     1,
+				Reduce:       true,
+				Oracles:      []string{tc.oracle},
+			})
+			if !res.Detected {
+				t.Fatalf("%s not detected", tc.fault)
+			}
+			if len(res.Reduced) == 0 || len(res.Reduced) > len(res.Bug.Trace) {
+				t.Fatalf("reduction produced %d statements from %d", len(res.Reduced), len(res.Bug.Trace))
+			}
+			check := reduce.CheckerFor(res.Bug, tc.dialect, faults.NewSet(tc.fault))
+			if !check(res.Reduced) {
+				t.Fatalf("reduced trace no longer reproduces:\n  %s", strings.Join(res.Reduced, ";\n  "))
+			}
+			clean := reduce.CheckerFor(res.Bug, tc.dialect, nil)
+			if clean(res.Reduced) {
+				t.Fatalf("checker reproduces on the fault-free engine:\n  %s", strings.Join(res.Reduced, ";\n  "))
+			}
+		})
 	}
 }

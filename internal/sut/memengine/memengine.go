@@ -38,6 +38,9 @@ func (driverImpl) Open(s sut.Session) (sut.DB, error) {
 	if s.NoCompile {
 		opts = append(opts, engine.WithoutCompiledEval())
 	}
+	if s.NoHashJoin {
+		opts = append(opts, engine.WithoutHashJoin())
+	}
 	switch s.Storage {
 	case "", "memory":
 		return Wrap(engine.Open(s.Dialect, opts...), s), nil

@@ -55,6 +55,9 @@ type Session struct {
 	// evaluates through the tree-walk interpreter (the compiled-vs-
 	// interpreted differential baseline; engine.WithoutCompiledEval).
 	NoCompile bool
+	// NoHashJoin pins every join level to the nested-loop operator (the
+	// hash-vs-nested differential baseline; engine.WithoutHashJoin).
+	NoHashJoin bool
 	// WireFidelity makes ExecAST render the statement to SQL and reparse
 	// it before executing — today's string round trip, kept as an opt-in
 	// for parser coverage. The default is the direct-AST fast path where

@@ -50,6 +50,9 @@ func (driverImpl) Open(s sut.Session) (sut.DB, error) {
 	if s.NoCompile {
 		params = append(params, "compile=off")
 	}
+	if s.NoHashJoin {
+		params = append(params, "hashjoin=off")
+	}
 	if s.Storage != "" && s.Storage != "memory" {
 		params = append(params, "storage="+s.Storage)
 	}
