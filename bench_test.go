@@ -1150,6 +1150,86 @@ func BenchmarkWALRecovery(b *testing.B) {
 	b.ReportMetric(float64(commits), "commits/recovery")
 }
 
+// BenchmarkTxnThroughput measures the transaction layer's commit cycle:
+// BEGIN, one insert, COMMIT on a dedicated session, per dialect. The gap
+// against plain autocommit inserts (the second sub-bench) is the price of
+// snapshot staging plus commit validation and merge — kept visible across
+// PRs by the CI -benchtime=1x smoke.
+func BenchmarkTxnThroughput(b *testing.B) {
+	for _, mode := range []string{"txn", "autocommit"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			for _, d := range dialect.All {
+				d := d
+				b.Run(d.String(), func(b *testing.B) {
+					e := engine.Open(d)
+					if _, err := e.Exec("CREATE TABLE t0(c0 INT, c1 TEXT)"); err != nil {
+						b.Fatal(err)
+					}
+					c := e.NewConn()
+					ins, err := sqlparse.ParseOne("INSERT INTO t0 VALUES (1, 'x')", d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					begin, _ := sqlparse.ParseOne("BEGIN", d)
+					commit, _ := sqlparse.ParseOne("COMMIT", d)
+					b.ResetTimer()
+					start := time.Now()
+					for i := 0; i < b.N; i++ {
+						if mode == "txn" {
+							if _, err := c.ExecStmt(begin); err != nil {
+								b.Fatal(err)
+							}
+						}
+						if _, err := c.ExecStmt(ins); err != nil {
+							b.Fatal(err)
+						}
+						if mode == "txn" {
+							if _, err := c.ExecStmt(commit); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+					if el := time.Since(start).Seconds(); el > 0 {
+						b.ReportMetric(float64(b.N)/el, "commits/s")
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkInterleavedCampaign measures the serializability oracle's
+// campaign cost next to the single-session oracles in
+// BenchmarkOracleThroughput: the same database-generation phase, then
+// interleaved multi-session histories with the serial-order search and
+// snapshot restore per check.
+func BenchmarkInterleavedCampaign(b *testing.B) {
+	for _, d := range dialect.All {
+		d := d
+		b.Run(d.String(), func(b *testing.B) {
+			tester := core.NewTester(core.Config{
+				Dialect:      d,
+				Oracle:       "serializability",
+				Seed:         1,
+				QueriesPerDB: 20,
+			})
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := tester.RunDatabase(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed, "dbs/s")
+				b.ReportMetric(float64(tester.Stats().Statements)/elapsed, "stmts/s")
+			}
+		})
+	}
+}
+
 var (
 	hashJoinOnce    sync.Once
 	hashJoinSpeedup float64

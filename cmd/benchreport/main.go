@@ -71,6 +71,80 @@ func main() {
 	throughput()
 	baseline(*budget / 4)
 	bench8()
+	bench9()
+}
+
+// bench9 measures the PR 9 transaction work — the BEGIN/INSERT/COMMIT
+// cycle against plain autocommit inserts, and serializability-oracle
+// campaign throughput (interleaved multi-session histories plus the
+// serial-order search per check) — and writes the numbers to BENCH_9.json
+// at the repo root. BenchmarkTxnThroughput / BenchmarkInterleavedCampaign
+// are the precise per-op measurements; this emits machine-readable
+// snapshots of the same workloads.
+func bench9() {
+	const cycles = 20000
+	e := engine.Open(dialect.SQLite)
+	if _, err := e.Exec("CREATE TABLE t0(c0 INT, c1 TEXT)"); err != nil {
+		panic(err)
+	}
+	c := e.NewConn()
+	run := func(txn bool, iters int) time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if txn {
+				if _, err := c.Exec("BEGIN"); err != nil {
+					panic(err)
+				}
+			}
+			if _, err := c.Exec("INSERT INTO t0 VALUES (1, 'x')"); err != nil {
+				panic(err)
+			}
+			if txn {
+				if _, err := c.Exec("COMMIT"); err != nil {
+					panic(err)
+				}
+			}
+		}
+		return time.Since(start) / time.Duration(iters)
+	}
+	txnNs := run(true, cycles)
+	autoNs := run(false, cycles)
+
+	const dbs = 200
+	tester := core.NewTester(core.Config{
+		Dialect: dialect.SQLite, Oracle: "serializability", Seed: 1, QueriesPerDB: 20,
+	})
+	start := time.Now()
+	for i := 0; i < dbs; i++ {
+		if _, err := tester.RunDatabase(); err != nil {
+			panic(err)
+		}
+	}
+	el := time.Since(start).Seconds()
+
+	out := map[string]any{
+		"pr": 9,
+		"txn_commit_cycle": map[string]any{
+			"txn_ns_per_commit":    txnNs.Nanoseconds(),
+			"autocommit_ns_per_op": autoNs.Nanoseconds(),
+			"overhead":             float64(txnNs) / float64(autoNs),
+		},
+		"serializability_campaign": map[string]any{
+			"dbs_per_s":   float64(dbs) / el,
+			"stmts_per_s": float64(tester.Stats().Statements) / el,
+			"checks":      tester.Stats().Queries,
+		},
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	path := filepath.Join(report.RepoRoot(), "BENCH_9.json")
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %s: txn commit cycle %s vs autocommit %s, serializability campaign %.0f dbs/s\n\n",
+		path, txnNs, autoNs, float64(dbs)/el)
 }
 
 // bench8 measures the PR 8 perf work — hash join vs nested loop on the

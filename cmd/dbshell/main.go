@@ -6,8 +6,13 @@
 //	dbshell -dialect sqlite [-backend memengine|wire] [-storage pager] [-fault sqlite.partial-index-not-null] [-no-compile] [-no-hashjoin]
 //
 // Statements end with ';'. Meta commands: .tables, .schema <t>,
-// .plan <select>, .oracle <name>, .snapshot, .restore, .reset,
-// .storage, .timer [on|off], .backend, .quit.
+// .plan <select>, .oracle <name>, .begin, .commit, .rollback,
+// .snapshot, .restore, .reset, .storage, .timer [on|off], .backend,
+// .quit.
+// `.begin`, `.commit`, and `.rollback` control a transaction on the
+// shell's session (shorthand for the BEGIN/COMMIT/ROLLBACK statements):
+// writes stage against a private snapshot until commit, which fails with
+// a conflict error if a concurrent commit touched the same tables.
 // `.snapshot` captures the database's data copy-on-write and `.restore`
 // rewinds to it (fixed schema; handy for replaying DML against an
 // injected fault), while `.reset` rewinds the whole database to the
@@ -17,8 +22,9 @@
 // per-statement wall time — combined with -no-compile it A/B-tests
 // compiled expression programs against the tree-walk interpreter.
 // `.oracle <name>` runs one-shot checks of a registered testing oracle
-// (pqs, tlp, norec, recovery) against the shell's current database —
-// handy for watching an injected fault (-fault) get caught interactively.
+// (pqs, tlp, norec, recovery, serializability) against the shell's
+// current database — handy for watching an injected fault (-fault) get
+// caught interactively.
 // `-storage pager` opens the shell's database on the durable page-file +
 // WAL backend (the recovery oracle requires it); `.storage` prints the
 // storage mode and the pager's work counters.
@@ -195,6 +201,20 @@ func meta(db sut.DB, backend, cmd string) bool {
 		fmt.Println("storage: pager (durable page file + WAL)")
 		fmt.Printf("  commits=%d wal-frames=%d checkpoints=%d recoveries=%d cache-hits=%d cache-misses=%d\n",
 			st.Commits, st.WalFrames, st.Checkpoints, st.Recoveries, st.CacheHits, st.CacheMisses)
+	case cmd == ".begin" || cmd == ".commit" || cmd == ".rollback":
+		stmt := strings.ToUpper(strings.TrimPrefix(cmd, "."))
+		if _, err := db.Exec(stmt); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		switch cmd {
+		case ".begin":
+			fmt.Println("transaction started")
+		case ".commit":
+			fmt.Println("committed")
+		default:
+			fmt.Println("rolled back")
+		}
 	case strings.HasPrefix(cmd, ".oracle"):
 		runOracle(db, strings.TrimSpace(strings.TrimPrefix(cmd, ".oracle")))
 	case strings.HasPrefix(cmd, ".timer"):
@@ -211,7 +231,7 @@ func meta(db sut.DB, backend, cmd string) bool {
 		}
 		fmt.Printf("timer %s\n", map[bool]string{true: "on", false: "off"}[timerOn])
 	default:
-		fmt.Println("meta commands: .tables, .schema <t>, .plan <select>, .oracle <name>, .snapshot, .restore, .reset, .storage, .timer [on|off], .backend, .quit")
+		fmt.Println("meta commands: .tables, .schema <t>, .plan <select>, .oracle <name>, .begin, .commit, .rollback, .snapshot, .restore, .reset, .storage, .timer [on|off], .backend, .quit")
 	}
 	return true
 }

@@ -11,6 +11,7 @@
 //	sqlancer-go -mode diff -dialect sqlite -right postgres
 //	sqlancer-go -backend wire -dialect sqlite -fault sqlite.partial-index-not-null
 //	sqlancer-go -storage pager -oracle recovery -fault pager.wal-lost-flush
+//	sqlancer-go -oracle serializability -fault engine.lost-update -sessions 3
 //	sqlancer-go -list-faults
 //
 // -corpus sweeps every registered fault of the dialect in one run: all
@@ -39,6 +40,14 @@
 // it and enables it automatically; passing it explicitly subjects any
 // other campaign to the durable storage path too (see DESIGN.md
 // "Durable storage & crash recovery").
+//
+// -oracle serializability runs interleaved multi-session transaction
+// histories against each generated database and checks every one against
+// an equivalent serial order (the engine.* isolation faults are visible
+// only to it; see DESIGN.md "Transactions & serializability checking").
+// -sessions fixes the concurrent-session count per history (default: a
+// seed-derived 2 or 3). It requires a multi-session backend (memengine;
+// the wire backend pins one session per database).
 package main
 
 import (
@@ -74,7 +83,8 @@ func main() {
 		depth       = flag.Int("depth", 3, "max expression depth")
 		queries     = flag.Int("queries", 30, "pivot queries per database")
 		doReduce    = flag.Bool("reduce", true, "reduce detected test cases")
-		oracleFlag  = flag.String("oracle", "pqs", "comma-separated testing oracles to rotate across databases: pqs, tlp, norec")
+		oracleFlag  = flag.String("oracle", "pqs", "comma-separated testing oracles to rotate across databases: pqs, tlp, norec, recovery, serializability")
+		sessions    = flag.Int("sessions", 0, "concurrent sessions per serializability history (0 = seed-derived 2 or 3)")
 		backend     = flag.String("backend", sut.DefaultBackend, "SUT backend: memengine, wire")
 		storageFlag = flag.String("storage", "", "storage mode: memory (default) or pager (durable page file + WAL; required by the recovery oracle)")
 		wireFid     = flag.Bool("wire-fidelity", false, "render+reparse each statement instead of the AST fast path")
@@ -117,13 +127,14 @@ func main() {
 			NoCompile:    *noCompile,
 			NoHashJoin:   *noHashJoin,
 			Storage:      *storageFlag,
+			Sessions:     *sessions,
 		})
 		return
 	}
 
 	switch *mode {
 	case "pqs":
-		runPQS(d, *faultFlag, *backend, *storageFlag, *wireFid, *noCompile, *noHashJoin, *maxDBs, *workers, *seed, *rows, *depth, *queries, *doReduce, parseOracles(*oracleFlag))
+		runPQS(d, *faultFlag, *backend, *storageFlag, *wireFid, *noCompile, *noHashJoin, *maxDBs, *workers, *seed, *rows, *depth, *queries, *sessions, *doReduce, parseOracles(*oracleFlag))
 	case "fuzz":
 		runFuzz(d, *faultFlag, *backend, *storageFlag, *wireFid, *noCompile, *noHashJoin, *maxDBs, *seed, *queries)
 	case "diff":
@@ -186,7 +197,7 @@ func parseOracles(list string) []string {
 	return out
 }
 
-func runPQS(d dialect.Dialect, faultName, backend, storage string, wireFid, noCompile, noHashJoin bool, maxDBs, workers int, seed int64, rows, depth, queries int, doReduce bool, oracles []string) {
+func runPQS(d dialect.Dialect, faultName, backend, storage string, wireFid, noCompile, noHashJoin bool, maxDBs, workers int, seed int64, rows, depth, queries, sessions int, doReduce bool, oracles []string) {
 	res := runner.Run(runner.Campaign{
 		Dialect:      d,
 		Fault:        parseFault(faultName),
@@ -204,6 +215,7 @@ func runPQS(d dialect.Dialect, faultName, backend, storage string, wireFid, noCo
 			NoCompile:    noCompile,
 			NoHashJoin:   noHashJoin,
 			Storage:      storage,
+			Sessions:     sessions,
 		},
 	})
 	fmt.Printf("dialect=%s fault=%s oracles=%s databases=%d statements=%d queries=%d elapsed=%s\n",

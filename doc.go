@@ -50,6 +50,19 @@
 // `.storage` prints the pager's work counters. See DESIGN.md "Durable
 // storage & crash recovery".
 //
+// Sessions support real transactions: BEGIN stages writes against a
+// private copy-on-write snapshot, COMMIT validates the transaction's
+// read and write sets against concurrent commits (first-committer-wins,
+// surfacing retryable conflict errors) and merges, ROLLBACK discards.
+// The `serializability` oracle opens several sessions per database
+// (`-sessions` fixes the count), executes generated transaction scripts
+// under a seeded deterministic interleaving, and requires every history
+// to match an equivalent serial order of its committed units; four
+// injectable isolation faults (dirty read, lost update, write skew,
+// rollback leak) are visible only to it. dbshell's `.begin`, `.commit`,
+// and `.rollback` drive a transaction interactively. See DESIGN.md
+// "Transactions & serializability checking".
+//
 // Campaigns execute on a shared work-stealing scheduler
 // (runner.Scheduler) over pooled, resettable engine lifecycles: the
 // engine's Reset/Snapshot facilities and sut.Pool let one engine serve

@@ -89,6 +89,10 @@ type Config struct {
 	// and verifies the pivot row is NOT contained — the paper's §7
 	// future-work extension. It catches bugs that erroneously add rows.
 	NegativeChecks bool
+	// Sessions fixes the serializability oracle's concurrent-session count
+	// per interleaved history (the `-sessions` flag; 0 = seed-derived 2 or
+	// 3). Ignored by the other oracles.
+	Sessions int
 }
 
 func (c Config) withDefaults() Config {
@@ -182,7 +186,7 @@ func NewTester(cfg Config) *Tester {
 
 // newMetaOracle resolves a metamorphic oracle from the registry.
 func newMetaOracle(name string, cfg Config) (oracle.Oracle, error) {
-	return oracle.New(name, oracle.Options{MaxExprDepth: cfg.MaxExprDepth})
+	return oracle.New(name, oracle.Options{MaxExprDepth: cfg.MaxExprDepth, Sessions: cfg.Sessions})
 }
 
 // oracleName reports the testing oracle this tester runs.

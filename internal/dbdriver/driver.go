@@ -15,9 +15,10 @@
 // closes) instead of the default in-memory heap.
 //
 // Repeated fault= parameters merge into one set. The driver supports
-// plain statements only (no placeholders); transactions are accepted as
-// pass-through no-ops (the engine auto-commits every statement), the same
-// surface SQLancer uses against a DBMS.
+// plain statements only (no placeholders). Transactions are real:
+// db.Begin() opens a snapshot-isolated engine transaction, Commit makes
+// its writes visible (and durable, under storage=pager) with
+// first-committer-wins conflict detection, and Rollback discards them.
 package dbdriver
 
 import (
@@ -149,22 +150,32 @@ func (c *conn) Close() error {
 	return err
 }
 
-// Begin implements driver.Conn. The engine auto-commits every statement,
-// so transactions are accepted as pass-through no-ops: Commit succeeds
-// without doing anything. Rollback errors rather than silently keeping
-// writes that ordinary database/sql code expects to be undone.
+// Begin implements driver.Conn with a real transaction: the engine's
+// session executes BEGIN, and the returned Tx's Commit/Rollback execute
+// COMMIT/ROLLBACK. Statements run through database/sql's Tx between the
+// two stage against the transaction's private snapshot and become visible
+// (and durable, under storage=pager) only at Commit.
 func (c *conn) Begin() (driver.Tx, error) {
-	return noopTx{}, nil
+	if _, err := c.e.Exec("BEGIN"); err != nil {
+		return nil, err
+	}
+	return tx{c: c}, nil
 }
 
-type noopTx struct{}
+type tx struct{ c *conn }
 
-// Commit implements driver.Tx; every statement already auto-committed.
-func (noopTx) Commit() error { return nil }
+// Commit implements driver.Tx. It fails with a conflict error when a
+// concurrent commit invalidated the transaction's snapshot
+// (first-committer-wins); the transaction is then already rolled back.
+func (t tx) Commit() error {
+	_, err := t.c.e.Exec("COMMIT")
+	return err
+}
 
 // Rollback implements driver.Tx.
-func (noopTx) Rollback() error {
-	return fmt.Errorf("pqs driver: rollback is not supported (statements auto-commit)")
+func (t tx) Rollback() error {
+	_, err := t.c.e.Exec("ROLLBACK")
+	return err
 }
 
 // Engine exposes the underlying engine for white-box assertions in tests.

@@ -223,16 +223,65 @@ func TestDriverErrors(t *testing.T) {
 	if _, err := db.Exec(`SELECT * FROM missing`); err == nil {
 		t.Error("missing table should error")
 	}
+}
+
+// TestDriverTransactions drives real BEGIN/COMMIT/ROLLBACK through the
+// database/sql Tx surface: committed writes stick, rolled-back writes
+// vanish, and writes staged inside an open Tx stay invisible to reads on
+// the same snapshot-isolated session until Commit.
+func TestDriverTransactions(t *testing.T) {
+	db, err := sql.Open("pqs", "sqlite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+	if _, err := db.Exec(`CREATE TABLE t0(c0 INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t0(c0) VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+
 	tx, err := db.Begin()
 	if err != nil {
-		t.Fatalf("Begin should be a no-op, got %v", err)
+		t.Fatalf("Begin: %v", err)
+	}
+	if _, err := tx.Exec(`INSERT INTO t0(c0) VALUES (2)`); err != nil {
+		t.Fatal(err)
 	}
 	if err := tx.Commit(); err != nil {
-		t.Errorf("Commit should be a no-op, got %v", err)
+		t.Fatalf("Commit: %v", err)
 	}
-	tx, _ = db.Begin()
-	if err := tx.Rollback(); err == nil {
-		t.Error("Rollback should error: statements auto-commit")
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM t0`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("after commit COUNT = %d, want 2", n)
+	}
+
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if _, err := tx.Exec(`DELETE FROM t0`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.QueryRow(`SELECT COUNT(*) FROM t0`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("inside tx after DELETE COUNT = %d, want 0", n)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	if err := db.QueryRow(`SELECT COUNT(*) FROM t0`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("after rollback COUNT = %d, want 2", n)
 	}
 }
 

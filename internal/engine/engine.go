@@ -86,6 +86,18 @@ type Engine struct {
 	ddlLog     []string
 	recovering bool
 
+	// Transaction machinery (txn.go): the default session, the sessions
+	// with open transactions, which session's working state currently
+	// occupies e.data (nil: the committed state), the parked committed
+	// snapshot while a transaction's state is installed, and the commit
+	// counter + log for backward validation.
+	defConn   *Conn
+	txns      map[*Conn]struct{}
+	curOwn    *Conn
+	commSnap  *Snapshot
+	commitSeq int64
+	commitLog []commitRecord
+
 	cov *Coverage
 }
 
@@ -129,12 +141,14 @@ func Open(d dialect.Dialect, opts ...Option) *Engine {
 		state:   map[string]*tableState{},
 		globals: map[string]sqlval.Value{},
 		progs:   map[sqlast.Expr]*eval.Program{},
+		txns:    map[*Conn]struct{}{},
 		cov:     newCoverage(),
 	}
 	for _, o := range opts {
 		o(e)
 	}
 	e.ev = &eval.Evaluator{D: d, Faults: e.fs}
+	e.defConn = &Conn{e: e}
 	return e
 }
 
@@ -173,8 +187,14 @@ func (e *Engine) Query(src string) (*Result, error) {
 	return e.Exec(src)
 }
 
-// ExecStmt executes one parsed statement.
-func (e *Engine) ExecStmt(st sqlast.Stmt) (res *Result, err error) {
+// ExecStmt executes one parsed statement on the engine's default session.
+func (e *Engine) ExecStmt(st sqlast.Stmt) (*Result, error) {
+	return e.defConn.ExecStmt(st)
+}
+
+// ExecStmt executes one parsed statement on this session.
+func (c *Conn) ExecStmt(st sqlast.Stmt) (res *Result, err error) {
+	e := c.e
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	defer func() {
@@ -183,8 +203,9 @@ func (e *Engine) ExecStmt(st sqlast.Stmt) (res *Result, err error) {
 				res = nil
 				err = xerr.New(xerr.CodeCrash, "SIGSEGV at %s (simulated)", cp.site)
 				// The simulated SEGFAULT may have left a partial mutation:
-				// bring the durable image back in line with memory.
-				if e.pg != nil && mutating(st) {
+				// bring the durable image back in line with memory. Inside
+				// an open transaction the damage is staged, not durable.
+				if e.pg != nil && mutating(st) && c.txn == nil {
 					if perr := e.persistLocked(); perr != nil {
 						err = perr
 					}
@@ -199,6 +220,29 @@ func (e *Engine) ExecStmt(st sqlast.Stmt) (res *Result, err error) {
 	if len(e.progs) > 0 && invalidatesPrograms(st) {
 		clear(e.progs)
 	}
+	if tx, ok := st.(*sqlast.Txn); ok {
+		return e.execTxnLocked(c, tx)
+	}
+	// A transaction whose snapshot predates a concurrent schema change
+	// cannot be switched back in: abort it (its next statement fails).
+	if c.txn != nil && c.txn.epoch != e.ddlEpoch {
+		e.abortTxnLocked(c, false)
+		return nil, xerr.New(xerr.CodeConflict, "transaction aborted: schema changed by a concurrent session")
+	}
+	// Schema changes are not transactional: DDL inside an open
+	// transaction commits it first (MySQL-style implicit commit).
+	if c.txn != nil && isDDL(st) {
+		if cerr := e.commitTxnLocked(c); cerr != nil {
+			return nil, cerr
+		}
+	}
+	// Install this session's state — unless the dirty-read-leak fault is
+	// injected and a read-only auto-commit statement arrives while a
+	// transaction's uncommitted working state is installed: the read then
+	// sees it (a dirty read).
+	if !(c.txn == nil && e.curOwn != nil && !mutating(st) && e.fs.Has(faults.TxnDirtyReadLeak)) {
+		e.installLocked(owner(c))
+	}
 	if isDDL(st) {
 		// Schema shape may change: invalidate outstanding data snapshots
 		// (conservatively, even if the statement goes on to fail).
@@ -211,13 +255,49 @@ func (e *Engine) ExecStmt(st sqlast.Stmt) (res *Result, err error) {
 		return nil, xerr.New(xerr.CodeCorrupt, "%s", e.corrupt)
 	}
 
+	// Write/read sets only matter while transactions are open; the
+	// single-session fast path skips the bookkeeping entirely.
+	var wt map[string]struct{}
+	if c.txn != nil || len(e.txns) > 0 {
+		wt = writeTargets(st)
+	}
+	if c.txn != nil {
+		// First-writer-wins: a table in another open transaction's write
+		// set is locked against this one (skipped under the lost-update
+		// fault, which also skips commit-time write validation).
+		if len(wt) > 0 && !e.fs.Has(faults.TxnLostUpdate) {
+			for other := range e.txns {
+				if other == c {
+					continue
+				}
+				if w := overlaps(other.txn.writes, wt); w != "" {
+					return nil, xerr.New(xerr.CodeBusy, "table %s is write-locked by a concurrent transaction", displayWrite(w))
+				}
+			}
+		}
+		// Record before executing: a failed statement may leave partial
+		// effects, and a simulated crash unwinds past the post-exec path.
+		for w := range wt {
+			c.txn.writes[w] = struct{}{}
+		}
+		for r := range e.readTargetsLocked(st) {
+			c.txn.reads[r] = struct{}{}
+		}
+	}
+
 	res, err = e.exec1(st)
 
-	// Durable engines persist after every mutating statement — including
-	// failed ones, whose partial effects (multi-row INSERT dying midway)
-	// are real in-memory state the durable image must track. A persist
-	// failure (simulated power cut, dead pager) supersedes the statement's
-	// own outcome: the durable state is what broke.
+	if c.txn != nil {
+		return res, err
+	}
+	if mutating(st) && len(e.txns) > 0 {
+		e.noteAutoCommitLocked(wt)
+	}
+	// Durable engines persist after every mutating auto-commit statement —
+	// including failed ones, whose partial effects (multi-row INSERT dying
+	// midway) are real in-memory state the durable image must track. A
+	// persist failure (simulated power cut, dead pager) supersedes the
+	// statement's own outcome: the durable state is what broke.
 	if e.pg != nil && mutating(st) {
 		if err == nil && isDDL(st) {
 			e.ddlLog = append(e.ddlLog, sqlast.SQL(st, e.d))

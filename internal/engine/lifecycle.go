@@ -39,6 +39,8 @@ func (e *Engine) Reset() {
 // resetLocked clears the in-memory state only (e.mu held). CrashRecover
 // uses it before reloading from disk.
 func (e *Engine) resetLocked() {
+	e.abortAllTxnsLocked()
+	e.commitSeq = 0
 	for _, td := range e.data {
 		td.Reset()
 		e.freeTables = append(e.freeTables, td)
@@ -100,10 +102,20 @@ type Snapshot struct {
 
 // Snapshot captures the current data state (see type Snapshot). Cost is
 // proportional to the number of rows and index entries, not their size —
-// the row values themselves are shared copy-on-write.
+// the row values themselves are shared copy-on-write. An engine with open
+// transactions captures the committed state and aborts them first: a
+// snapshot is a statement-boundary concept.
 func (e *Engine) Snapshot() *Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.abortAllTxnsLocked()
+	return e.snapshotLocked()
+}
+
+// snapshotLocked captures whatever state is currently installed (e.mu
+// held). The transaction machinery uses it to park a session's working
+// state while another session's is installed.
+func (e *Engine) snapshotLocked() *Snapshot {
 	s := &Snapshot{
 		epoch:   e.ddlEpoch,
 		seq:     e.seq,
@@ -131,10 +143,26 @@ func (e *Engine) Snapshot() *Snapshot {
 
 // Restore rewinds the engine's data to a snapshot taken from it. It fails
 // with CodeUnsupported if the schema changed since the snapshot (data
-// snapshots capture rows, not catalog shape).
+// snapshots capture rows, not catalog shape). Open transactions abort:
+// their working state was layered over data the rewind just replaced.
 func (e *Engine) Restore(s *Snapshot) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.abortAllTxnsLocked()
+	if err := e.restoreLocked(s); err != nil {
+		return err
+	}
+	if e.pg != nil {
+		// The rewind changed data without a statement: commit the restored
+		// state so the durable image keeps tracking memory.
+		return e.persistLocked()
+	}
+	return nil
+}
+
+// restoreLocked installs a snapshot over the current data (e.mu held, no
+// persist). Fails with CodeUnsupported on a stale snapshot.
+func (e *Engine) restoreLocked(s *Snapshot) error {
 	if s.epoch != e.ddlEpoch {
 		return xerr.New(xerr.CodeUnsupported, "snapshot is stale: schema changed since it was taken")
 	}
@@ -158,10 +186,5 @@ func (e *Engine) Restore(s *Snapshot) error {
 	e.caseSensitiveLike = s.csLike
 	e.ev.CaseSensitiveLike = s.csLike
 	clear(e.progs) // programs may close over session options
-	if e.pg != nil {
-		// The rewind changed data without a statement: commit the restored
-		// state so the durable image keeps tracking memory.
-		return e.persistLocked()
-	}
 	return nil
 }

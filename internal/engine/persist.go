@@ -131,9 +131,11 @@ func (e *Engine) persistLocked() error {
 }
 
 // mutating reports whether a statement can change persistent state.
+// Transaction control is handled before the persist path and never
+// persists by itself (COMMIT persists through commitTxnLocked).
 func mutating(st sqlast.Stmt) bool {
 	switch st.(type) {
-	case *sqlast.Select, *sqlast.Compound, *sqlast.Explain:
+	case *sqlast.Select, *sqlast.Compound, *sqlast.Explain, *sqlast.Txn:
 		return false
 	}
 	return true

@@ -1,0 +1,535 @@
+package engine
+
+// Transaction machinery: BEGIN/COMMIT/ROLLBACK with snapshot-based
+// isolation over the copy-on-write storage snapshots, validated at commit
+// with table-granularity optimistic concurrency control.
+//
+// Model. Each Conn is one client session. A session outside a transaction
+// auto-commits every statement against the committed state. BEGIN adopts
+// the committed state as the transaction's private working state; its
+// statements stage effects there, invisible to other sessions. Because the
+// engine executes one statement at a time, only one state is "installed"
+// in e.data at any moment — the others are parked as COW snapshots
+// (cheap: a row-pointer slice copy per table) and swapped in lazily when
+// their session's next statement arrives.
+//
+// Concurrency control is first-writer-wins plus backward validation:
+//
+//   - While a transaction holds a table in its write set, another open
+//     transaction writing that table fails the statement with CodeBusy
+//     (the analogue of SQLITE_BUSY on a reserved lock).
+//   - At COMMIT, the transaction aborts with CodeConflict if any commit
+//     since its BEGIN wrote a table in its read or write set
+//     (first-committer-wins). Validating reads as well as writes makes
+//     the engine serializable, with commit order as the witness serial
+//     order — not merely snapshot-isolated, which would admit write skew.
+//
+// COMMIT merges only the transaction's written tables (heap, indexes,
+// bookkeeping) into the committed state, so concurrent commits to
+// disjoint tables compose. It is also the durability boundary: a durable
+// engine persists at auto-commit statements and at COMMIT, never for
+// statements inside an open transaction — a crash loses open transactions.
+//
+// Schema changes are not transactional (MySQL semantics): DDL inside an
+// open transaction implicitly commits it first, and DDL from another
+// session marks every open transaction's snapshot stale, aborting it with
+// CodeConflict at its next statement.
+//
+// Four injectable isolation faults live here (see internal/faults):
+// dirty-read-leak, lost-update, snapshot-skew-commit, and
+// rollback-restore-miss. All are dormant unless sessions overlap inside
+// open transactions, which only the serializability oracle generates.
+
+import (
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+	"repro/internal/xerr"
+)
+
+// optionsWrite is the pseudo-table recording that a transaction changed
+// session/global options; allWrite marks maintenance statements that touch
+// every table. Both start with a byte no real table name can.
+const (
+	optionsWrite = "\x00options"
+	allWrite     = "\x00*"
+)
+
+// Conn is one client session of an Engine. The zero session auto-commits
+// every statement; Begin/Commit/Rollback statements executed through it
+// manage a private transaction. All methods serialize on the engine's
+// mutex, like Engine itself.
+type Conn struct {
+	e   *Engine
+	txn *connTxn // nil outside a transaction (guarded by e.mu)
+}
+
+// connTxn is the state of one open transaction.
+type connTxn struct {
+	beginSeq int64 // commitSeq at BEGIN: validation horizon
+	epoch    int64 // ddlEpoch at BEGIN: schema-stability guard
+	// work parks the transaction's working state while another session's
+	// is installed; nil while this transaction's state is installed.
+	work   *Snapshot
+	reads  map[string]struct{} // lower-cased tables read
+	writes map[string]struct{} // lower-cased tables written
+}
+
+// commitRecord is one entry of the commit log used for backward
+// validation; the log is retained only while transactions are open.
+type commitRecord struct {
+	seq    int64
+	writes map[string]struct{}
+}
+
+// NewConn opens an additional session on the engine. Sessions share the
+// committed state and the statement lock; each can hold one open
+// transaction.
+func (e *Engine) NewConn() *Conn { return &Conn{e: e} }
+
+// Exec parses and executes src on this session, like Engine.Exec.
+func (c *Conn) Exec(src string) (*Result, error) {
+	stmts, err := sqlparse.Parse(src, c.e.d)
+	if err != nil {
+		return nil, xerr.New(xerr.CodeSyntax, "%v", err)
+	}
+	var res *Result
+	for _, st := range stmts {
+		res, err = c.ExecStmt(st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if res == nil {
+		res = &Result{}
+	}
+	return res, nil
+}
+
+// InTxn reports whether the session has an open transaction.
+func (c *Conn) InTxn() bool {
+	c.e.mu.Lock()
+	defer c.e.mu.Unlock()
+	return c.txn != nil
+}
+
+// Close rolls back the session's open transaction, if any. The session
+// must not be used afterwards.
+func (c *Conn) Close() error {
+	c.e.mu.Lock()
+	defer c.e.mu.Unlock()
+	if c.txn != nil {
+		c.e.abortTxnLocked(c, false)
+	}
+	return nil
+}
+
+// execTxnLocked executes BEGIN/COMMIT/ROLLBACK (e.mu held).
+func (e *Engine) execTxnLocked(c *Conn, tx *sqlast.Txn) (*Result, error) {
+	switch tx.Op {
+	case sqlast.TxnBegin:
+		if c.txn != nil {
+			return nil, xerr.New(xerr.CodeTxnState, "cannot start a transaction within a transaction")
+		}
+		e.installLocked(nil) // park any other session's working state
+		c.txn = &connTxn{
+			beginSeq: e.commitSeq,
+			epoch:    e.ddlEpoch,
+			reads:    map[string]struct{}{},
+			writes:   map[string]struct{}{},
+		}
+		e.txns[c] = struct{}{}
+		// The installed committed state doubles as the transaction's
+		// working state from here; park a committed snapshot for everyone
+		// else.
+		e.commSnap = e.snapshotLocked()
+		e.curOwn = c
+		return &Result{}, nil
+	case sqlast.TxnCommit:
+		if c.txn == nil {
+			return nil, xerr.New(xerr.CodeTxnState, "cannot commit - no transaction is active")
+		}
+		if c.txn.epoch != e.ddlEpoch {
+			e.abortTxnLocked(c, false)
+			return nil, xerr.New(xerr.CodeConflict, "transaction aborted: schema changed by a concurrent session")
+		}
+		if err := e.commitTxnLocked(c); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	default: // TxnRollback
+		if c.txn == nil {
+			return nil, xerr.New(xerr.CodeTxnState, "cannot rollback - no transaction is active")
+		}
+		e.abortTxnLocked(c, true)
+		return &Result{}, nil
+	}
+}
+
+// installLocked makes `want`'s working state (nil: the committed state)
+// the one installed in e.data, parking the current occupant as a COW
+// snapshot. The global statement counter survives the swap.
+func (e *Engine) installLocked(want *Conn) {
+	if e.curOwn == want {
+		return
+	}
+	parked := e.snapshotLocked()
+	seq := e.seq
+	if e.curOwn == nil {
+		e.commSnap = parked
+	} else {
+		e.curOwn.txn.work = parked
+	}
+	var target *Snapshot
+	if want == nil {
+		target = e.commSnap
+		e.commSnap = nil
+	} else {
+		target = want.txn.work
+		want.txn.work = nil
+	}
+	// Cannot be stale: DDL only runs against the committed state, so the
+	// schema cannot change while any transaction snapshot is parked
+	// un-aborted; a failure here means that invariant broke.
+	if err := e.restoreLocked(target); err != nil {
+		e.corrupt = "transaction state switch failed: " + err.Error()
+	}
+	e.seq = seq
+	e.curOwn = want
+}
+
+// owner returns the conn whose state must be installed to run c's next
+// statement: c itself inside a transaction, the committed state otherwise.
+func owner(c *Conn) *Conn {
+	if c.txn != nil {
+		return c
+	}
+	return nil
+}
+
+// commitTxnLocked validates and commits c's transaction: merge its written
+// tables into the committed state, record the commit for later
+// validators, and persist (the durability boundary). On conflict the
+// transaction aborts and CodeConflict is returned.
+func (e *Engine) commitTxnLocked(c *Conn) error {
+	t := c.txn
+	if conflict := e.validateTxnLocked(t); conflict != "" {
+		e.abortTxnLocked(c, false)
+		return xerr.New(xerr.CodeConflict, "cannot commit: %s", conflict)
+	}
+	var work *Snapshot
+	if e.curOwn == c {
+		work = e.snapshotLocked()
+	}
+	e.installLocked(nil)
+	if work == nil {
+		work = t.work // was parked
+	}
+	c.txn = nil
+	delete(e.txns, c)
+	e.mergeWorkLocked(t, work)
+	e.commitSeq++
+	if len(e.txns) > 0 {
+		e.commitLog = append(e.commitLog, commitRecord{seq: e.commitSeq, writes: t.writes})
+	} else {
+		e.commitLog = e.commitLog[:0]
+	}
+	if e.pg != nil {
+		return e.persistLocked()
+	}
+	return nil
+}
+
+// validateTxnLocked is backward validation: any commit after the
+// transaction began that wrote a table this transaction wrote (lost
+// update) or read (snapshot skew) invalidates it. The two injectable
+// faults each disable one half.
+func (e *Engine) validateTxnLocked(t *connTxn) string {
+	wwCheck := !e.fs.Has(faults.TxnLostUpdate)
+	rwCheck := !e.fs.Has(faults.TxnSnapshotSkewCommit)
+	for _, rec := range e.commitLog {
+		if rec.seq <= t.beginSeq {
+			continue
+		}
+		if wwCheck {
+			if w := overlaps(rec.writes, t.writes); w != "" {
+				return "concurrent commit wrote table " + displayWrite(w) + " (write-write conflict)"
+			}
+		}
+		if rwCheck {
+			if w := overlaps(rec.writes, t.reads); w != "" {
+				return "concurrent commit wrote table " + displayWrite(w) + " read by this transaction"
+			}
+		}
+	}
+	return ""
+}
+
+// overlaps returns a member witnessing a non-empty intersection of two
+// write/read sets, honouring the allWrite wildcard on either side.
+func overlaps(a, b map[string]struct{}) string {
+	if len(a) == 0 || len(b) == 0 {
+		return ""
+	}
+	if _, ok := a[allWrite]; ok {
+		return anyOf(b)
+	}
+	if _, ok := b[allWrite]; ok {
+		return anyOf(a)
+	}
+	small, large := a, b
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	for k := range small {
+		if _, ok := large[k]; ok {
+			return k
+		}
+	}
+	return ""
+}
+
+func anyOf(m map[string]struct{}) string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names) // deterministic witness
+	return names[0]
+}
+
+func displayWrite(w string) string {
+	switch w {
+	case optionsWrite:
+		return "(options)"
+	case allWrite:
+		return "(all)"
+	}
+	return w
+}
+
+// mergeWorkLocked installs the transaction's written tables (heap, index
+// entries, per-table bookkeeping) from its working snapshot into the
+// currently-installed committed state. Unwritten tables keep their
+// committed content, so commits to disjoint tables compose.
+func (e *Engine) mergeWorkLocked(t *connTxn, work *Snapshot) {
+	if _, all := t.writes[allWrite]; all {
+		seq := e.seq
+		if err := e.restoreLocked(work); err != nil {
+			e.corrupt = "transaction commit failed: " + err.Error()
+		}
+		e.seq = seq
+		return
+	}
+	for w := range t.writes {
+		if w == optionsWrite {
+			clear(e.globals)
+			for k, v := range work.globals {
+				e.globals[k] = v
+			}
+			e.caseSensitiveLike = work.csLike
+			e.ev.CaseSensitiveLike = work.csLike
+			continue
+		}
+		td := e.data[w]
+		ws := work.tables[w]
+		if td == nil || ws == nil {
+			continue // target vanished: DDL implicit-commits, so only a failed write on a missing table
+		}
+		td.Restore(ws)
+		for _, ix := range e.cat.IndexesOn(w) {
+			if ixd := e.idx[lower(ix.Name)]; ixd != nil {
+				if isnap := work.indexes[lower(ix.Name)]; isnap != nil {
+					ixd.Restore(isnap)
+				}
+			}
+		}
+		if ts, ok := work.state[w]; ok {
+			cp := ts
+			e.state[w] = &cp
+		} else {
+			delete(e.state, w)
+		}
+	}
+	if work.corrupt != "" {
+		e.corrupt = work.corrupt
+	}
+	clear(e.progs)
+}
+
+// abortTxnLocked discards c's transaction and reinstates the committed
+// state. explicitRollback distinguishes a client ROLLBACK (the
+// rollback-restore-miss fault site) from engine-initiated aborts.
+func (e *Engine) abortTxnLocked(c *Conn, explicitRollback bool) {
+	t := c.txn
+	// Injected fault: ROLLBACK leaks the working version of the first
+	// (lexicographically) written table into committed state. Only
+	// observable when the aborting transaction's state is reachable —
+	// installed, or parked behind the committed state.
+	var leakName string
+	var leakTab *Snapshot
+	if explicitRollback && e.fs.Has(faults.TxnRollbackRestoreMiss) {
+		if name := firstRealWrite(t.writes); name != "" {
+			switch {
+			case e.curOwn == c:
+				leakName, leakTab = name, e.snapshotLocked()
+			case e.curOwn == nil && t.work != nil:
+				leakName, leakTab = name, t.work
+			}
+		}
+	}
+	if e.curOwn == c {
+		seq := e.seq
+		// Cannot be stale: see installLocked.
+		if err := e.restoreLocked(e.commSnap); err != nil {
+			e.corrupt = "transaction rollback failed: " + err.Error()
+		}
+		e.seq = seq
+		e.curOwn = nil
+		e.commSnap = nil
+	}
+	if leakTab != nil {
+		if td := e.data[leakName]; td != nil {
+			if tsnap := leakTab.tables[leakName]; tsnap != nil {
+				td.Restore(tsnap)
+			}
+		}
+	}
+	c.txn = nil
+	delete(e.txns, c)
+	if len(e.txns) == 0 {
+		e.commitLog = e.commitLog[:0]
+	}
+}
+
+// firstRealWrite picks the lexicographically-first real table (not a
+// pseudo write marker) from a write set.
+func firstRealWrite(writes map[string]struct{}) string {
+	names := make([]string, 0, len(writes))
+	for w := range writes {
+		if w != optionsWrite && w != allWrite {
+			names = append(names, w)
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	sort.Strings(names)
+	return names[0]
+}
+
+// abortAllTxnsLocked discards every open transaction and reinstates the
+// committed state. Reset, Restore, and Snapshot call it: all three are
+// statement-boundary operations on committed state.
+func (e *Engine) abortAllTxnsLocked() {
+	if e.curOwn != nil {
+		seq := e.seq
+		if e.commSnap != nil {
+			// Cannot be stale: see installLocked.
+			if err := e.restoreLocked(e.commSnap); err != nil {
+				e.corrupt = "transaction abort failed: " + err.Error()
+			}
+		}
+		e.seq = seq
+		e.curOwn = nil
+		e.commSnap = nil
+	}
+	for c := range e.txns {
+		c.txn = nil
+	}
+	clear(e.txns)
+	e.commitLog = e.commitLog[:0]
+}
+
+// noteAutoCommitLocked records an auto-committed mutating statement in the
+// commit log so open transactions validate against it. With no open
+// transactions the log stays empty.
+func (e *Engine) noteAutoCommitLocked(writes map[string]struct{}) {
+	e.commitSeq++
+	if len(e.txns) == 0 {
+		if len(e.commitLog) > 0 {
+			e.commitLog = e.commitLog[:0]
+		}
+		return
+	}
+	if len(writes) > 0 {
+		e.commitLog = append(e.commitLog, commitRecord{seq: e.commitSeq, writes: writes})
+	}
+}
+
+// writeTargets returns the lower-cased tables a statement writes (nil for
+// read-only statements). Maintenance without a table target and
+// session-option changes use pseudo markers.
+func writeTargets(st sqlast.Stmt) map[string]struct{} {
+	one := func(name string) map[string]struct{} {
+		return map[string]struct{}{lower(name): {}}
+	}
+	switch n := st.(type) {
+	case *sqlast.Insert:
+		return one(n.Table)
+	case *sqlast.Update:
+		return one(n.Table)
+	case *sqlast.Delete:
+		return one(n.Table)
+	case *sqlast.Maintenance:
+		if n.Table != "" {
+			return one(n.Table)
+		}
+		return map[string]struct{}{allWrite: {}}
+	case *sqlast.SetOption:
+		return map[string]struct{}{optionsWrite: {}}
+	}
+	return nil
+}
+
+// readTargetsLocked returns the lower-cased tables a statement reads.
+// UPDATE/DELETE read the table they filter; a view in FROM conservatively
+// reads every table (view definitions can reference anything).
+func (e *Engine) readTargetsLocked(st sqlast.Stmt) map[string]struct{} {
+	var out map[string]struct{}
+	viaView := false
+	add := func(name string) {
+		k := lower(name)
+		if t, ok := e.cat.Table(k); ok && t.IsView {
+			viaView = true
+			return
+		}
+		if out == nil {
+			out = map[string]struct{}{}
+		}
+		out[k] = struct{}{}
+	}
+	var addSelect func(sel *sqlast.Select)
+	addSelect = func(sel *sqlast.Select) {
+		for _, tr := range sel.From {
+			add(tr.Name)
+		}
+		for _, j := range sel.Joins {
+			add(j.Table.Name)
+		}
+	}
+	switch n := st.(type) {
+	case *sqlast.Select:
+		addSelect(n)
+	case *sqlast.Compound:
+		for _, sel := range n.Selects {
+			addSelect(sel)
+		}
+	case *sqlast.Update:
+		add(n.Table)
+	case *sqlast.Delete:
+		add(n.Table)
+	}
+	if viaView {
+		// Conservative: a view read depends on its whole definition.
+		if out == nil {
+			out = map[string]struct{}{}
+		}
+		for _, name := range e.cat.TableNames() {
+			out[lower(name)] = struct{}{}
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/faults"
+	"repro/internal/xerr"
+)
+
+func TestTxnSanity(t *testing.T) {
+	e := Open(dialect.SQLite)
+	mustExec := func(c *Conn, sql string) *Result {
+		r, err := c.Exec(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return r
+	}
+	c1, c2 := e.NewConn(), e.NewConn()
+	mustExec(c1, "CREATE TABLE t (a INTEGER)")
+	mustExec(c1, "INSERT INTO t VALUES (1)")
+	mustExec(c1, "BEGIN")
+	mustExec(c1, "INSERT INTO t VALUES (2)")
+	// c2 must not see the staged row
+	r := mustExec(c2, "SELECT * FROM t")
+	if len(r.Rows) != 1 {
+		t.Fatalf("c2 sees %d rows, want 1", len(r.Rows))
+	}
+	// c1 sees its own write
+	r = mustExec(c1, "SELECT * FROM t")
+	if len(r.Rows) != 2 {
+		t.Fatalf("c1 sees %d rows, want 2", len(r.Rows))
+	}
+	// c2 writing t gets busy
+	if _, err := c2.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Exec("INSERT INTO t VALUES (3)"); !xerr.Is(err, xerr.CodeBusy) {
+		t.Fatalf("want busy, got %v", err)
+	}
+	mustExec(c2, "ROLLBACK")
+	mustExec(c1, "COMMIT")
+	r = mustExec(c2, "SELECT * FROM t")
+	if len(r.Rows) != 2 {
+		t.Fatalf("after commit c2 sees %d rows, want 2", len(r.Rows))
+	}
+	// rollback restores
+	mustExec(c1, "BEGIN")
+	mustExec(c1, "DELETE FROM t")
+	mustExec(c1, "ROLLBACK")
+	r = mustExec(c1, "SELECT * FROM t")
+	if len(r.Rows) != 2 {
+		t.Fatalf("after rollback %d rows, want 2", len(r.Rows))
+	}
+	// nested begin
+	mustExec(c1, "BEGIN")
+	if _, err := c1.Exec("BEGIN"); !xerr.Is(err, xerr.CodeTxnState) {
+		t.Fatalf("nested begin: %v", err)
+	}
+	mustExec(c1, "COMMIT")
+	if _, err := c1.Exec("COMMIT"); !xerr.Is(err, xerr.CodeTxnState) {
+		t.Fatalf("commit outside txn: %v", err)
+	}
+	// first-committer-wins on read-write conflict
+	mustExec(c1, "BEGIN")
+	mustExec(c2, "BEGIN")
+	mustExec(c1, "SELECT * FROM t")
+	mustExec(c1, "INSERT INTO t VALUES (10)")
+	mustExec(c2, "SELECT * FROM t")
+	mustExec(c1, "COMMIT")
+	if _, err := c2.Exec("INSERT INTO t VALUES (11)"); !xerr.Is(err, xerr.CodeBusy) {
+		// c1 committed, lock released: insert proceeds
+		if err != nil {
+			t.Fatalf("c2 insert: %v", err)
+		}
+	}
+	if _, err := c2.Exec("COMMIT"); !xerr.Is(err, xerr.CodeConflict) {
+		t.Fatalf("c2 commit should conflict, got %v", err)
+	}
+	// lost-update fault: both commit
+	ef := Open(dialect.SQLite, WithFaults(faults.NewSet(faults.TxnLostUpdate)))
+	f1, f2 := ef.NewConn(), ef.NewConn()
+	mustExec(f1, "CREATE TABLE t (a INTEGER)")
+	mustExec(f1, "BEGIN")
+	mustExec(f2, "BEGIN")
+	mustExec(f1, "INSERT INTO t VALUES (1)")
+	mustExec(f2, "INSERT INTO t VALUES (2)")
+	mustExec(f1, "COMMIT")
+	mustExec(f2, "COMMIT")
+	r = mustExec(f1, "SELECT * FROM t")
+	if len(r.Rows) != 1 {
+		t.Fatalf("lost-update fault: want 1 surviving row (clobber), got %d", len(r.Rows))
+	}
+}

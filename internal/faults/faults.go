@@ -36,6 +36,11 @@ const (
 	// durably committed and what a crash-then-recover cycle actually
 	// restores, which no query-result oracle ever sees.
 	OracleRecovery Oracle = "recovery"
+	// OracleSerializability marks isolation faults only the serializability
+	// oracle can observe: they deviate between an interleaved multi-session
+	// history and every equivalent serial order, which no single-session
+	// oracle ever executes.
+	OracleSerializability Oracle = "serializability"
 )
 
 // Class groups faults the way Section 4 of the paper groups bugs.
@@ -51,6 +56,7 @@ const (
 	ClassCrash        Class = "crash"        // simulated SEGFAULTs
 	ClassSemantics    Class = "semantics"    // dialect-specific semantic bugs
 	ClassDurability   Class = "durability"   // pager/WAL crash-recovery bugs
+	ClassIsolation    Class = "isolation"    // transaction-isolation bugs
 )
 
 // Info is the registry metadata for one fault.
@@ -276,6 +282,35 @@ const (
 	PagerTruncatedReplay Fault = "pager.wal-truncated-replay"
 )
 
+// Isolation faults, injected into the engine's transaction machinery
+// (internal/engine txn state machine). They are dormant in single-session
+// campaigns — every site requires an open transaction from one session
+// overlapping statements from another — and only the serializability
+// oracle, which executes interleaved multi-session histories and compares
+// them against equivalent serial orders, can observe them. Registered
+// under the SQLite home dialect (the txn machinery is dialect-independent;
+// campaigns enable them under any dialect).
+const (
+	// TxnDirtyReadLeak: a read-only statement from a non-transactional
+	// session skips the switch back to committed state and reads another
+	// session's uncommitted working state — a classic dirty read.
+	TxnDirtyReadLeak Fault = "engine.dirty-read-leak"
+	// TxnLostUpdate: commit validation skips the write-write check (and
+	// the eager write lock), so two overlapping transactions can both
+	// commit writes to the same table and the later commit silently
+	// clobbers the earlier one — a lost update.
+	TxnLostUpdate Fault = "engine.lost-update"
+	// TxnSnapshotSkewCommit: commit validation skips the read-set check,
+	// degrading serializable optimistic concurrency to plain snapshot
+	// isolation — overlapping transactions that read what the other wrote
+	// both commit (write skew).
+	TxnSnapshotSkewCommit Fault = "engine.snapshot-skew-commit"
+	// TxnRollbackRestoreMiss: ROLLBACK restores the committed snapshot but
+	// leaves the transaction's working version of its first written table
+	// in place, so aborted writes leak into committed state.
+	TxnRollbackRestoreMiss Fault = "engine.rollback-restore-miss"
+)
+
 // registry holds the metadata table.
 var registry = map[Fault]Info{}
 
@@ -344,6 +379,11 @@ func init() {
 		{PagerLostFlush, sq, ClassDurability, OracleRecovery, true, "§7 durability class", "Commit skips the WAL fsync; claimed-committed transactions vanish on crash"},
 		{PagerTornPageAccept, sq, ClassDurability, OracleRecovery, true, "§7 durability class", "recovery skips checksum verification and salvages the torn WAL tail"},
 		{PagerTruncatedReplay, sq, ClassDurability, OracleRecovery, true, "§7 durability class", "recovery stops after the first WAL commit frame, dropping later commits"},
+
+		{TxnDirtyReadLeak, sq, ClassIsolation, OracleSerializability, true, "isolation class", "non-txn readers see another session's uncommitted working state"},
+		{TxnLostUpdate, sq, ClassIsolation, OracleSerializability, true, "isolation class", "commit skips write-write validation; overlapping writers both commit"},
+		{TxnSnapshotSkewCommit, sq, ClassIsolation, OracleSerializability, true, "isolation class", "commit skips read-set validation; write skew commits under SI"},
+		{TxnRollbackRestoreMiss, sq, ClassIsolation, OracleSerializability, true, "isolation class", "ROLLBACK leaves the first written table's uncommitted version in place"},
 	} {
 		register(i)
 	}

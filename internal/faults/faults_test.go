@@ -9,12 +9,13 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 49 {
-		t.Fatalf("registry has %d faults, want 49", len(all))
+	if len(all) != 53 {
+		t.Fatalf("registry has %d faults, want 53", len(all))
 	}
 	valid := map[Oracle]bool{
 		OracleContainment: true, OracleError: true, OracleCrash: true,
 		OracleNoREC: true, OracleTLP: true, OracleRecovery: true,
+		OracleSerializability: true,
 	}
 	for _, i := range all {
 		if i.ID == "" || i.Desc == "" || i.Paper == "" {
@@ -28,7 +29,8 @@ func TestRegistryComplete(t *testing.T) {
 		// whole-result-set deviations, recovery for wrong durable state.
 		// Error/crash faults are not logic.
 		logicOracle := i.Oracle == OracleContainment || i.Oracle == OracleNoREC ||
-			i.Oracle == OracleTLP || i.Oracle == OracleRecovery
+			i.Oracle == OracleTLP || i.Oracle == OracleRecovery ||
+			i.Oracle == OracleSerializability
 		if i.Logic != logicOracle {
 			t.Errorf("fault %q: Logic=%v inconsistent with oracle %q", i.ID, i.Logic, i.Oracle)
 		}

@@ -1,0 +1,130 @@
+package gen
+
+import (
+	"repro/internal/sqlast"
+)
+
+// Multi-session history generation for the serializability oracle: each
+// session gets a short script of transaction-wrapped DML and reads, and
+// Interleave draws a deterministic schedule over the scripts from the
+// seeded random stream. Scripts are generated against the current
+// committed schema without being executed; the oracle executes them later
+// under the interleaving.
+
+// Step addresses one statement of one session script inside an
+// interleaved history.
+type Step struct {
+	Session int // index into the scripts slice
+	Index   int // statement index within that script
+}
+
+// SessionScripts generates n per-session statement scripts over the
+// database's existing tables. Each script wraps one to three DML or read
+// statements in BEGIN … COMMIT (sometimes ROLLBACK), optionally with
+// auto-committed statements before or after the transaction — the shapes
+// that make snapshot staging, commit validation, and rollback restoration
+// observable when sessions overlap.
+func (sg *StateGen) SessionScripts(n int) [][]sqlast.Stmt {
+	out := make([][]sqlast.Stmt, n)
+	for i := range out {
+		out[i] = sg.sessionScript()
+	}
+	return out
+}
+
+func (sg *StateGen) sessionScript() []sqlast.Stmt {
+	var stmts []sqlast.Stmt
+	capture := func(st sqlast.Stmt) error {
+		stmts = append(stmts, st)
+		return nil
+	}
+	// Occasionally an auto-committed statement before the transaction
+	// (autocommit reads are the dirty-read observation points).
+	if sg.Rnd.Bool(0.3) {
+		_ = sg.sessionStmt(capture)
+	}
+	stmts = append(stmts, &sqlast.Txn{Op: sqlast.TxnBegin})
+	for j, n := 0, 1+sg.Rnd.Intn(3); j < n; j++ {
+		_ = sg.sessionStmt(capture)
+	}
+	op := sqlast.TxnCommit
+	if sg.Rnd.Bool(0.25) {
+		op = sqlast.TxnRollback
+	}
+	stmts = append(stmts, &sqlast.Txn{Op: op})
+	if sg.Rnd.Bool(0.2) {
+		_ = sg.sessionStmt(capture)
+	}
+	return stmts
+}
+
+// sessionStmt captures one history statement: insert-biased DML with
+// observational reads mixed in. Reads inside transactions witness the
+// snapshot (write-skew detection); reads outside witness committed state
+// (dirty-read detection).
+func (sg *StateGen) sessionStmt(apply Apply) error {
+	tables := sg.E.Tables()
+	if len(tables) == 0 {
+		return nil
+	}
+	table := tables[sg.Rnd.Intn(len(tables))]
+	switch sg.Rnd.Intn(6) {
+	case 0, 1:
+		return apply(sg.genSessionRead(table))
+	case 2:
+		return sg.genUpdate(apply, table)
+	case 3:
+		return sg.genDelete(apply, table)
+	default:
+		return sg.insertInto(apply, table, 1+sg.Rnd.Intn(2))
+	}
+}
+
+// genSessionRead builds a deterministic observation of one table: its full
+// row set, or an aggregate over one column.
+func (sg *StateGen) genSessionRead(table string) *sqlast.Select {
+	sel := &sqlast.Select{From: []sqlast.TableRef{{Name: table}}}
+	info, err := sg.E.Describe(table)
+	if err == nil && len(info.Columns) > 0 && sg.Rnd.Bool(0.5) {
+		col := info.Columns[sg.Rnd.Intn(len(info.Columns))].Name
+		fn := "COUNT"
+		if sg.Rnd.Bool(0.3) {
+			fn = "MAX"
+		}
+		sel.Cols = []sqlast.ResultCol{{
+			X:     &sqlast.FuncCall{Name: fn, Args: []sqlast.Expr{sqlast.Col(table, col)}},
+			Alias: "a",
+		}}
+		return sel
+	}
+	sel.Cols = []sqlast.ResultCol{{Star: true}}
+	return sel
+}
+
+// Interleave draws a deterministic schedule over the session scripts: at
+// each step one session with statements remaining is picked from the
+// seeded stream and its next statement is appended. Statement order
+// within a session is preserved. Replaying the same seed reproduces the
+// identical schedule — the oracle executes it single-threaded, so the
+// history is byte-identical at any campaign worker count.
+func Interleave(rnd *Rand, scripts [][]sqlast.Stmt) []Step {
+	total := 0
+	next := make([]int, len(scripts))
+	for _, s := range scripts {
+		total += len(s)
+	}
+	steps := make([]Step, 0, total)
+	live := make([]int, 0, len(scripts))
+	for len(steps) < total {
+		live = live[:0]
+		for i := range scripts {
+			if next[i] < len(scripts[i]) {
+				live = append(live, i)
+			}
+		}
+		s := live[rnd.Intn(len(live))]
+		steps = append(steps, Step{Session: s, Index: next[s]})
+		next[s]++
+	}
+	return steps
+}

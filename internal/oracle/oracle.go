@@ -68,8 +68,11 @@ func Classify(st sqlast.Stmt, err error, d dialect.Dialect) Verdict {
 	// here because it only arises from simulated power cuts: the
 	// recovery oracle owns the durability verdict, so a statement dying
 	// with the pager is harness mechanics, not an engine bug.
+	// CodeTxnState (COMMIT without BEGIN and the like) is harness misuse,
+	// not an engine bug.
 	switch code {
-	case xerr.CodeSyntax, xerr.CodeUnsupported, xerr.CodeNoObject, xerr.CodeBusy, xerr.CodeIO:
+	case xerr.CodeSyntax, xerr.CodeUnsupported, xerr.CodeNoObject, xerr.CodeBusy, xerr.CodeIO,
+		xerr.CodeTxnState:
 		return VerdictArtifact
 	}
 	if expectedFor(st, code, d) {
@@ -82,6 +85,17 @@ func Classify(st sqlast.Stmt, err error, d dialect.Dialect) Verdict {
 // defined a list of error messages that we might expect when executing the
 // respective statement").
 func expectedFor(st sqlast.Stmt, code xerr.Code, d dialect.Dialect) bool {
+	// A transaction aborting with a serialization conflict is the expected,
+	// retryable outcome of first-committer-wins concurrency control —
+	// whether surfaced at COMMIT or at the first statement after a
+	// concurrent schema change.
+	if code == xerr.CodeConflict {
+		switch st.(type) {
+		case *sqlast.Txn, *sqlast.Insert, *sqlast.Update, *sqlast.Delete,
+			*sqlast.Select, *sqlast.Compound:
+			return true
+		}
+	}
 	switch st.(type) {
 	case *sqlast.Insert, *sqlast.Update:
 		switch code {

@@ -74,6 +74,9 @@ func (e *Env) Record() {
 type Options struct {
 	// MaxExprDepth bounds generated predicates (0 = default).
 	MaxExprDepth int
+	// Sessions fixes the serializability oracle's concurrent-session count
+	// per history (0 = seed-derived 2 or 3). Other oracles ignore it.
+	Sessions int
 }
 
 // Factory builds one oracle instance.
@@ -137,6 +140,8 @@ func ForFault(info faults.Info) string {
 		return "norec"
 	case faults.OracleRecovery:
 		return "recovery"
+	case faults.OracleSerializability:
+		return "serializability"
 	default:
 		return "pqs"
 	}

@@ -1,0 +1,412 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+	"repro/internal/sut"
+	"repro/internal/xerr"
+)
+
+func init() {
+	Register("serializability", func(o Options) Oracle { return &serializability{opts: o} })
+}
+
+// multiDB is the capability surface the serializability oracle needs
+// beyond sut.DB: extra concurrent sessions, plus whole-state snapshot and
+// restore for serial-order replay. Asserted structurally like the
+// recovery oracle's crash capability; sut/memengine satisfies it, the
+// wire backend (one database per driver connection) cannot.
+type multiDB interface {
+	sut.DB
+	sut.MultiSession
+	Snapshot() *engine.Snapshot
+	RestoreSnapshot(*engine.Snapshot) error
+}
+
+// serializability implements the serializability-checking oracle: execute
+// a generated multi-session history under a seeded deterministic
+// interleaving, then search for an equivalent serial order of its
+// committed units. Every committed transaction's statement results
+// (including its reads) and the final committed state must be reproduced
+// by executing the units one after another in some order on the same
+// starting snapshot; rolled-back and conflict-aborted transactions must
+// leave no trace. The engine's first-committer-wins validation makes the
+// commit order itself a witness serial order, so a sound engine passes on
+// the first candidate — any history with no witness at all is a bug.
+type serializability struct {
+	opts Options
+}
+
+// Name implements Oracle.
+func (*serializability) Name() string { return "serializability" }
+
+// maxSerialOrders bounds the serial-order search. Histories generate at
+// most ~9 committed units, and the sound engine always matches the commit
+// order (candidate #1), so the cap only bounds work on detections — where
+// exhausting it just means "nothing matched within budget", which is the
+// detection.
+const maxSerialOrders = 720
+
+// sessionTag prefixes one history statement with its session index in
+// reproduction traces: "/*S1*/ BEGIN" is session 1's BEGIN. Setup-prefix
+// statements carry no tag and replay on the primary session.
+func sessionTag(session int) string { return fmt.Sprintf("/*S%d*/ ", session) }
+
+// splitSessionTag recognizes a tagged trace line, returning the session
+// index and the bare SQL.
+func splitSessionTag(line string) (session int, sql string, ok bool) {
+	if !strings.HasPrefix(line, "/*S") {
+		return 0, "", false
+	}
+	end := strings.Index(line, "*/")
+	if end < 0 {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(line[3:end])
+	if err != nil || n < 0 {
+		return 0, "", false
+	}
+	return n, strings.TrimSpace(line[end+2:]), true
+}
+
+// histStep is one executed statement of an interleaved history.
+type histStep struct {
+	session int
+	st      sqlast.Stmt
+	out     stepOutcome
+}
+
+// stepOutcome is the comparable observation of one statement: error code
+// on failure, sorted row multiset and rows-affected on success. Rows are
+// compared as sorted multisets so legal row-order differences between the
+// interleaved run and a serial replay never count as divergence.
+type stepOutcome struct {
+	failed   bool
+	code     xerr.Code
+	rows     []string
+	affected int
+}
+
+func observeStep(res *sut.Result, err error) stepOutcome {
+	if err != nil {
+		code, _ := xerr.CodeOf(err)
+		return stepOutcome{failed: true, code: code}
+	}
+	out := stepOutcome{affected: res.RowsAffected}
+	if len(res.Rows) > 0 {
+		enc := make([]string, len(res.Rows))
+		for i, row := range res.Rows {
+			parts := make([]string, len(row))
+			for j, v := range row {
+				parts[j] = v.Literal()
+			}
+			enc[i] = strings.Join(parts, ",")
+		}
+		sort.Strings(enc)
+		out.rows = enc
+	}
+	return out
+}
+
+// diff describes the first divergence from another outcome ("" if equal).
+func (o stepOutcome) diff(rep stepOutcome) string {
+	if o.failed != rep.failed {
+		return fmt.Sprintf("error divergence (observed failed=%v code=%s, serial failed=%v code=%s)",
+			o.failed, o.code, rep.failed, rep.code)
+	}
+	if o.failed {
+		if o.code != rep.code {
+			return fmt.Sprintf("error code %s vs %s", o.code, rep.code)
+		}
+		return ""
+	}
+	if len(o.rows) != len(rep.rows) {
+		return fmt.Sprintf("%d rows observed, %d in serial replay", len(o.rows), len(rep.rows))
+	}
+	for i := range o.rows {
+		if o.rows[i] != rep.rows[i] {
+			return fmt.Sprintf("row (%s) observed vs (%s) in serial replay", o.rows[i], rep.rows[i])
+		}
+	}
+	if o.affected != rep.affected {
+		return fmt.Sprintf("%d rows affected observed, %d in serial replay", o.affected, rep.affected)
+	}
+	return ""
+}
+
+// unit is one committed unit of a history: a committed transaction's
+// statements, or a single auto-committed statement. pos is the global
+// step index at which the unit took effect (its COMMIT, or the statement
+// itself) — sorting by pos yields the commit order.
+type unit struct {
+	pos   int
+	stmts []int // indices into the history's steps
+}
+
+// assembleUnits extracts the committed units from an executed history.
+// Rolled-back transactions, transactions whose COMMIT failed (conflict
+// aborts), and statements that failed with CodeBusy (the first-writer
+// lock — a pure concurrency artifact with no serial counterpart) are
+// excluded: a serializable history is equivalent to some serial execution
+// of exactly what committed.
+func assembleUnits(steps []histStep) []unit {
+	var units []unit
+	open := map[int]*unit{} // session → pending transaction unit
+	for i, s := range steps {
+		if tx, ok := s.st.(*sqlast.Txn); ok {
+			switch tx.Op {
+			case sqlast.TxnBegin:
+				if !s.out.failed {
+					open[s.session] = &unit{}
+				}
+			case sqlast.TxnCommit:
+				if u := open[s.session]; u != nil {
+					delete(open, s.session)
+					if !s.out.failed && len(u.stmts) > 0 {
+						u.pos = i
+						units = append(units, *u)
+					}
+				}
+			default: // TxnRollback
+				delete(open, s.session)
+			}
+			continue
+		}
+		if s.out.failed && s.out.code == xerr.CodeBusy {
+			continue
+		}
+		if u := open[s.session]; u != nil {
+			u.stmts = append(u.stmts, i)
+			continue
+		}
+		units = append(units, unit{pos: i, stmts: []int{i}})
+	}
+	sort.Slice(units, func(a, b int) bool { return units[a].pos < units[b].pos })
+	return units
+}
+
+// replaySerial executes the units in the given order on the restored base
+// snapshot through the primary session (auto-commit — serial execution
+// needs no transaction machinery, which also keeps replay off the
+// injected isolation-fault sites) and compares every statement's outcome
+// and the final committed state against the interleaved observations.
+func replaySerial(db multiDB, base *engine.Snapshot, steps []histStep, units []unit, order []int, final tableDump) (bool, string) {
+	if err := db.RestoreSnapshot(base); err != nil {
+		return false, "snapshot restore failed: " + err.Error()
+	}
+	for _, ui := range order {
+		for _, si := range units[ui].stmts {
+			res, err := db.ExecAST(steps[si].st)
+			if d := steps[si].out.diff(observeStep(res, err)); d != "" {
+				return false, fmt.Sprintf("statement %d (%s): %s",
+					si, sqlast.SQL(steps[si].st, db.Session().Dialect), d)
+			}
+		}
+	}
+	if d := final.diff(dump(db)); d != "" {
+		return false, "final state: " + d
+	}
+	return true, ""
+}
+
+// searchSerial looks for a serial order of the committed units that
+// reproduces the history: the commit order first (the sound engine's
+// witness), then every other permutation up to maxSerialOrders. Returns
+// whether a witness order exists, plus the commit-order divergence when
+// none does (the most readable explanation of the violation).
+func searchSerial(db multiDB, base *engine.Snapshot, steps []histStep, units []unit, final tableDump) (bool, string) {
+	n := len(units)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	ok, commitDiff := replaySerial(db, base, steps, units, order, final)
+	if ok {
+		return true, ""
+	}
+	// Permute: Heap's algorithm over the remaining orders, bounded.
+	tried := 1
+	c := make([]int, n)
+	i := 0
+	for i < n && tried < maxSerialOrders {
+		if c[i] < i {
+			if i%2 == 0 {
+				order[0], order[i] = order[i], order[0]
+			} else {
+				order[c[i]], order[i] = order[i], order[c[i]]
+			}
+			tried++
+			if ok, _ := replaySerial(db, base, steps, units, order, final); ok {
+				return true, ""
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+	return false, commitDiff
+}
+
+// runHistory executes the history steps in order, each on its session's
+// connection, filling in the observed outcomes. A statement whose error
+// the shared error oracle classifies as a bug or crash short-circuits
+// with that report (the build-phase error oracle, extended into the
+// multi-session phase).
+func runHistory(db multiDB, env *Env, steps []histStep, nSessions int) (*Report, error) {
+	conns := make([]sut.Conn, nSessions)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i := range steps {
+		s := &steps[i]
+		if conns[s.session] == nil {
+			c, err := db.NewConn()
+			if err != nil {
+				return nil, err
+			}
+			conns[s.session] = c
+		}
+		if env != nil {
+			env.Record()
+		}
+		res, err := conns[s.session].ExecAST(s.st)
+		s.out = observeStep(res, err)
+		if err != nil {
+			switch v := Classify(s.st, err, db.Session().Dialect); v {
+			case VerdictBug, VerdictCrash:
+				code, _ := xerr.CodeOf(err)
+				rep := &Report{
+					Oracle:     OracleFor(v),
+					DetectedBy: "serializability",
+					Message:    err.Error(),
+					Code:       code,
+				}
+				if env != nil {
+					rep.Trace = append(env.SetupTrace(), historyTrace(steps[:i+1], db)...)
+				}
+				return rep, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// historyTrace renders the executed history with session tags.
+func historyTrace(steps []histStep, db sut.DB) []string {
+	d := db.Session().Dialect
+	out := make([]string, len(steps))
+	for i, s := range steps {
+		out[i] = sessionTag(s.session) + sqlast.SQL(s.st, d)
+	}
+	return out
+}
+
+// Check implements Oracle: one interleaved-history round. The database's
+// committed state is restored to its pre-history snapshot before
+// returning, pass or fail, so successive checks of a lifecycle all start
+// from the state the setup trace describes.
+func (o *serializability) Check(db sut.DB, env *Env) (*Report, error) {
+	mdb, ok := db.(multiDB)
+	if !ok {
+		return nil, xerr.New(xerr.CodeUnsupported,
+			"serializability oracle requires a multi-session backend with snapshot support (sut/memengine)")
+	}
+	sg := &gen.StateGen{Rnd: env.Rnd, E: db.Introspect(), Hints: env.Hints}
+	nSessions := o.opts.Sessions
+	if nSessions <= 0 {
+		nSessions = 2 + env.Rnd.Intn(2)
+	}
+	scripts := sg.SessionScripts(nSessions)
+	schedule := gen.Interleave(env.Rnd, scripts)
+	if len(schedule) == 0 {
+		return nil, nil
+	}
+	steps := make([]histStep, len(schedule))
+	for i, stp := range schedule {
+		steps[i] = histStep{session: stp.Session, st: scripts[stp.Session][stp.Index]}
+	}
+
+	base := mdb.Snapshot()
+	rep, err := runHistory(mdb, env, steps, len(scripts))
+	if err != nil || rep != nil {
+		restoreErr := mdb.RestoreSnapshot(base)
+		if err == nil {
+			err = restoreErr
+		}
+		return rep, err
+	}
+
+	final := dump(db)
+	units := assembleUnits(steps)
+	serializable, detail := searchSerial(mdb, base, steps, units, final)
+	if rerr := mdb.RestoreSnapshot(base); rerr != nil {
+		return nil, rerr
+	}
+	if serializable {
+		return nil, nil
+	}
+	return &Report{
+		Oracle:     faults.OracleSerializability,
+		DetectedBy: "serializability",
+		Message: fmt.Sprintf("history of %d committed units matches no serial order; vs commit order: %s",
+			len(units), detail),
+		Trace: append(env.SetupTrace(), historyTrace(steps, db)...),
+	}, nil
+}
+
+// SerializabilityReplay replays a candidate trace and reports whether the
+// serializability violation still shows — the reducer's reproduction
+// check. Untagged lines are setup, executed on the primary session;
+// tagged lines ("/*S<n>*/ …") re-run as the interleaved history in trace
+// order on per-session connections, and the serial-order search is
+// re-applied. The candidate reproduces iff no serial order matches.
+func SerializabilityReplay(db sut.DB, bug *Report, trace []string) bool {
+	mdb, ok := db.(multiDB)
+	if !ok {
+		return false
+	}
+	d := db.Session().Dialect
+	var steps []histStep
+	maxSession := -1
+	for _, line := range trace {
+		if sess, sql, tagged := splitSessionTag(line); tagged {
+			st, err := sqlparse.ParseOne(sql, d)
+			if err != nil {
+				continue // candidate mangled a statement: skip it
+			}
+			steps = append(steps, histStep{session: sess, st: st})
+			if sess > maxSession {
+				maxSession = sess
+			}
+		} else {
+			_, _ = db.Exec(line) // setup errors just weaken the candidate
+		}
+	}
+	if len(steps) == 0 {
+		return false
+	}
+	base := mdb.Snapshot()
+	if rep, err := runHistory(mdb, nil, steps, maxSession+1); err != nil || rep != nil {
+		_ = mdb.RestoreSnapshot(base)
+		return false
+	}
+	final := dump(db)
+	units := assembleUnits(steps)
+	serializable, _ := searchSerial(mdb, base, steps, units, final)
+	_ = mdb.RestoreSnapshot(base)
+	return !serializable
+}

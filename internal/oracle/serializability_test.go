@@ -1,0 +1,141 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dialect"
+	"repro/internal/faults"
+	"repro/internal/runner"
+)
+
+// isolationFaults are the injected transaction-isolation bugs only the
+// serializability oracle can observe (the cross-oracle matrix proves
+// pqs/tlp/norec structurally miss all four).
+var isolationFaults = []faults.Fault{
+	faults.TxnDirtyReadLeak,
+	faults.TxnLostUpdate,
+	faults.TxnSnapshotSkewCommit,
+	faults.TxnRollbackRestoreMiss,
+}
+
+// TestSerializabilityFaultMatrix hunts every injected isolation fault
+// with the serializability oracle in all three dialects, and reduces each
+// detection to a minimal multi-session repro. The faults live in the
+// transaction layer, below the SQL surface, so the dialect axis exercises
+// the oracle end to end (history generation, interleaved execution,
+// serial-order search, session-tagged reporting) rather than
+// dialect-specific fault behaviour.
+func TestSerializabilityFaultMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serializability fault matrix is not short")
+	}
+	for _, d := range dialect.All {
+		for _, f := range isolationFaults {
+			d, f := d, f
+			t.Run(d.String()+"/"+string(f), func(t *testing.T) {
+				t.Parallel()
+				res := runner.Run(runner.Campaign{
+					Dialect:      d,
+					Fault:        f,
+					MaxDatabases: 300,
+					Workers:      2,
+					BaseSeed:     1,
+					Oracles:      []string{"serializability"},
+					Reduce:       true,
+				})
+				if !res.Detected {
+					t.Fatalf("serializability oracle missed %s in %d databases", f, res.Databases)
+				}
+				if res.Bug.Oracle != faults.OracleSerializability {
+					t.Errorf("detection carries oracle %q, want %q", res.Bug.Oracle, faults.OracleSerializability)
+				}
+				if res.Bug.DetectedBy != "serializability" {
+					t.Errorf("DetectedBy = %q, want serializability", res.Bug.DetectedBy)
+				}
+				if len(res.Reduced) == 0 || len(res.Reduced) > len(res.Bug.Trace) {
+					t.Errorf("reduction produced %d statements from %d", len(res.Reduced), len(res.Bug.Trace))
+				}
+				t.Logf("%s/%s: seed %d, %d databases, trace %d → %d stmts: %s",
+					d, f, res.Seed, res.Databases, len(res.Bug.Trace), len(res.Reduced), res.Bug.Message)
+			})
+		}
+	}
+}
+
+// TestSerializabilityNoFalsePositives soaks the sound engine: across all
+// three dialects, with and without compiled expression programs, every
+// fault-free interleaved history must match a serial order. The engine's
+// first-committer-wins validation makes the commit order a witness, so
+// any detection here is an oracle bug, not flakiness.
+func TestSerializabilityNoFalsePositives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serializability soundness soak is not short")
+	}
+	for _, d := range dialect.All {
+		for _, noCompile := range []bool{false, true} {
+			d, noCompile := d, noCompile
+			name := d.String()
+			if noCompile {
+				name += "/no-compile"
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				res := runner.Run(runner.Campaign{
+					Dialect:      d,
+					Fault:        "", // sound engine
+					MaxDatabases: 150,
+					Workers:      4,
+					BaseSeed:     1,
+					Oracles:      []string{"serializability"},
+					Tester:       core.Config{NoCompile: noCompile},
+				})
+				if res.Detected {
+					t.Fatalf("false positive on the sound engine (seed %d): %s\ntrace:\n%v",
+						res.Seed, res.Bug.Message, res.Bug.Trace)
+				}
+			})
+		}
+	}
+}
+
+// TestInterleavingDeterminism runs the same isolation hunt with 1 and 8
+// workers: detection, seed, message, and the session-tagged history trace
+// must be byte-identical — interleavings derive from the campaign seed,
+// never from goroutine scheduling.
+func TestInterleavingDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interleaving determinism check is not short")
+	}
+	campaign := func(workers int) runner.Result {
+		return runner.Run(runner.Campaign{
+			Dialect:      dialect.SQLite,
+			Fault:        faults.TxnLostUpdate,
+			MaxDatabases: 300,
+			Workers:      workers,
+			BaseSeed:     7,
+			Oracles:      []string{"serializability"},
+		})
+	}
+	a, b := campaign(1), campaign(8)
+	if a.Detected != b.Detected {
+		t.Fatalf("Detected differs: %v vs %v", a.Detected, b.Detected)
+	}
+	if !a.Detected {
+		t.Fatal("lost-update not detected at all")
+	}
+	if a.Seed != b.Seed {
+		t.Fatalf("detecting seed differs: %d vs %d", a.Seed, b.Seed)
+	}
+	if a.Bug.Message != b.Bug.Message {
+		t.Fatalf("message differs:\n  1 worker: %s\n  8 workers: %s", a.Bug.Message, b.Bug.Message)
+	}
+	if len(a.Bug.Trace) != len(b.Bug.Trace) {
+		t.Fatalf("trace length differs: %d vs %d", len(a.Bug.Trace), len(b.Bug.Trace))
+	}
+	for i := range a.Bug.Trace {
+		if a.Bug.Trace[i] != b.Bug.Trace[i] {
+			t.Fatalf("trace[%d] differs: %q vs %q", i, a.Bug.Trace[i], b.Bug.Trace[i])
+		}
+	}
+}

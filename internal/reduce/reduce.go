@@ -72,6 +72,17 @@ func CheckerFor(bug *core.Bug, d dialect.Dialect, fs *faults.Set) Check {
 			defer db.Close()
 			return oracle.RecoveryReplay(db, bug, trace)
 		}
+		if bug.Oracle == faults.OracleSerializability {
+			// Serializability bugs replay their session-tagged history on a
+			// multi-session backend and re-run the serial-order search
+			// (oracle.SerializabilityReplay owns the protocol).
+			db, err := sut.Open("", sut.Session{Dialect: d, Faults: fs})
+			if err != nil {
+				return false
+			}
+			defer db.Close()
+			return oracle.SerializabilityReplay(db, bug, trace)
+		}
 		db, err := sut.Open("", sut.Session{Dialect: d, Faults: fs})
 		if err != nil {
 			return false

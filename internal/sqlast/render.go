@@ -91,6 +91,8 @@ func renderStmt(b *strings.Builder, s Stmt, d dialect.Dialect) {
 	case *Explain:
 		b.WriteString("EXPLAIN ")
 		renderStmt(b, n.Target, d)
+	case *Txn:
+		b.WriteString(n.Kind())
 	default:
 		panic(fmt.Sprintf("sqlast: cannot render %T", s))
 	}

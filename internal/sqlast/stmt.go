@@ -226,6 +226,23 @@ type Explain struct {
 	Target Stmt
 }
 
+// TxnKind selects the transaction-control form.
+type TxnKind uint8
+
+// Transaction-control forms.
+const (
+	TxnBegin TxnKind = iota
+	TxnCommit
+	TxnRollback
+)
+
+// Txn is BEGIN / COMMIT / ROLLBACK (transaction control). The parser also
+// accepts the TRANSACTION/WORK noise words and the END spelling of COMMIT;
+// rendering always emits the canonical bare keyword.
+type Txn struct {
+	Op TxnKind
+}
+
 func (*CreateTable) isStmt() {}
 func (*CreateIndex) isStmt() {}
 func (*CreateView) isStmt()  {}
@@ -239,6 +256,7 @@ func (*Select) isStmt()      {}
 func (*Maintenance) isStmt() {}
 func (*SetOption) isStmt()   {}
 func (*Explain) isStmt()     {}
+func (*Txn) isStmt()         {}
 
 // Kind implementations produce the Figure 3 statement-category labels.
 
@@ -304,3 +322,15 @@ func (*SetOption) Kind() string { return "OPTION" }
 
 // Kind returns "EXPLAIN".
 func (*Explain) Kind() string { return "EXPLAIN" }
+
+// Kind returns "BEGIN" / "COMMIT" / "ROLLBACK".
+func (t *Txn) Kind() string {
+	switch t.Op {
+	case TxnCommit:
+		return "COMMIT"
+	case TxnRollback:
+		return "ROLLBACK"
+	default:
+		return "BEGIN"
+	}
+}

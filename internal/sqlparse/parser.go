@@ -224,6 +224,24 @@ func (p *parser) parseStmt() (sqlast.Stmt, error) {
 			return nil, err
 		}
 		return &sqlast.Explain{Target: target}, nil
+	case "BEGIN":
+		p.next()
+		// SQLite's BEGIN [DEFERRED|IMMEDIATE|EXCLUSIVE]: the engine's txns
+		// all behave like DEFERRED snapshots, so the modifier is accepted
+		// and ignored.
+		if !p.acceptKeyword("DEFERRED") && !p.acceptKeyword("IMMEDIATE") {
+			p.acceptKeyword("EXCLUSIVE")
+		}
+		p.acceptTxnNoise()
+		return &sqlast.Txn{Op: sqlast.TxnBegin}, nil
+	case "COMMIT", "END":
+		p.next()
+		p.acceptTxnNoise()
+		return &sqlast.Txn{Op: sqlast.TxnCommit}, nil
+	case "ROLLBACK":
+		p.next()
+		p.acceptTxnNoise()
+		return &sqlast.Txn{Op: sqlast.TxnRollback}, nil
 	case "PRAGMA":
 		p.next()
 		return p.parseSetTail(false)
@@ -233,6 +251,14 @@ func (p *parser) parseStmt() (sqlast.Stmt, error) {
 		return p.parseSetTail(global)
 	}
 	return nil, errf(t.pos, "unknown statement %q", t.text)
+}
+
+// acceptTxnNoise consumes the optional TRANSACTION/WORK noise word after a
+// transaction-control keyword.
+func (p *parser) acceptTxnNoise() {
+	if !p.acceptKeyword("TRANSACTION") {
+		p.acceptKeyword("WORK")
+	}
 }
 
 func (p *parser) parseSetTail(global bool) (sqlast.Stmt, error) {

@@ -195,6 +195,159 @@ func TestFastPathMatchesWireFidelity(t *testing.T) {
 	}
 }
 
+// txnConformanceScript exercises the transaction surface: staged writes
+// visible inside the transaction, committed writes visible after, rolled
+// back writes gone, nested BEGIN rejected, and COMMIT/ROLLBACK outside a
+// transaction rejected. Every backend must agree statement by statement.
+var txnConformanceScript = []string{
+	"CREATE TABLE t0(c0 INT, c1 TEXT)",
+	"INSERT INTO t0 VALUES (1, 'a'), (2, 'b')",
+	"BEGIN",
+	"INSERT INTO t0 VALUES (3, 'c')",
+	"SELECT c0, c1 FROM t0 ORDER BY c0", // staged insert visible in-txn
+	"UPDATE t0 SET c1 = 'z' WHERE c0 = 1",
+	"COMMIT",
+	"SELECT c0, c1 FROM t0 ORDER BY c0", // committed state
+	"BEGIN",
+	"DELETE FROM t0",
+	"SELECT COUNT(*) FROM t0", // 0 inside the transaction
+	"ROLLBACK",
+	"SELECT COUNT(*) FROM t0", // restored to 3
+	"BEGIN",
+	"BEGIN", // nested begin: rejected, transaction stays open
+	"INSERT INTO t0 VALUES (4, 'd')",
+	"ROLLBACK",
+	"SELECT COUNT(*) FROM t0", // still 3: the insert rolled back
+	"COMMIT",                  // no transaction open: rejected
+	"ROLLBACK",                // no transaction open: rejected
+	"SELECT c0, c1 FROM t0 ORDER BY c0",
+}
+
+// TestTxnConformance runs the transaction script against the memengine
+// fast path, a wire-fidelity memengine session, and the wire backend for
+// every dialect, asserting identical observable behaviour: begin/commit/
+// rollback visibility, rollback-restores-state, and nested-begin
+// rejection must not depend on how statements reach the engine.
+func TestTxnConformance(t *testing.T) {
+	for _, d := range dialect.All {
+		t.Run(d.String(), func(t *testing.T) {
+			mem := mustOpen(t, "memengine", sut.Session{Dialect: d})
+			defer mem.Close()
+			fid := mustOpen(t, "memengine", sut.Session{Dialect: d, WireFidelity: true})
+			defer fid.Close()
+			wired := mustOpen(t, "wire", sut.Session{Dialect: d})
+			defer wired.Close()
+			for _, sql := range txnConformanceScript {
+				a, b, c := observe(mem, sql), observe(fid, sql), observe(wired, sql)
+				if diff := diffOutcome(a, b); diff != "" {
+					t.Fatalf("fast path vs wire fidelity diverge on %q: %s", sql, diff)
+				}
+				if diff := diffOutcome(a, c); diff != "" {
+					t.Fatalf("memengine vs wire diverge on %q: %s", sql, diff)
+				}
+			}
+			// The script's own expectations, not just cross-backend
+			// agreement: rollback restored the pre-DELETE state.
+			res, err := mem.Query("SELECT COUNT(*) FROM t0")
+			if err != nil || len(res.Rows) != 1 || res.Rows[0][0].String() != "3" {
+				t.Fatalf("final state wrong: rows=%v err=%v", res, err)
+			}
+			// And the nested BEGIN / misplaced COMMIT statements really
+			// failed rather than silently succeeding everywhere.
+			bad := []int{14, 18, 19} // second BEGIN, trailing COMMIT, trailing ROLLBACK
+			check := mustOpen(t, "memengine", sut.Session{Dialect: d})
+			defer check.Close()
+			for i, sql := range txnConformanceScript {
+				o := observe(check, sql)
+				wantFail := false
+				for _, j := range bad {
+					if i == j {
+						wantFail = true
+					}
+				}
+				if o.failed != wantFail {
+					t.Fatalf("statement %d %q: failed=%v, want %v", i, sql, o.failed, wantFail)
+				}
+			}
+		})
+	}
+}
+
+// TestTxnConnIsolation pins the multi-session semantics at the sut
+// boundary: a second Conn's staged writes are invisible to the primary
+// session until COMMIT, and Close rolls back an open transaction.
+func TestTxnConnIsolation(t *testing.T) {
+	db := mustOpen(t, "memengine", sut.Session{Dialect: dialect.SQLite})
+	defer db.Close()
+	ms, ok := db.(sut.MultiSession)
+	if !ok {
+		t.Fatal("memengine should support MultiSession")
+	}
+	for _, sql := range []string{
+		"CREATE TABLE t0(c0 INT)",
+		"INSERT INTO t0 VALUES (1)",
+	} {
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2, err := ms.NewConn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Exec("INSERT INTO t0 VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	count := func(db interface {
+		Query(string) (*sut.Result, error)
+	}) string {
+		res, err := db.Query("SELECT COUNT(*) FROM t0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0][0].String()
+	}
+	if got := count(db); got != "1" {
+		t.Fatalf("primary session sees staged insert: COUNT=%s", got)
+	}
+	if res, err := c2.Exec("SELECT COUNT(*) FROM t0"); err != nil || res.Rows[0][0].String() != "2" {
+		t.Fatalf("staging session should see its own insert: %v %v", res, err)
+	}
+	if _, err := c2.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(db); got != "2" {
+		t.Fatalf("after commit COUNT=%s, want 2", got)
+	}
+
+	// Close with an open transaction rolls it back.
+	c3, err := ms.NewConn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c3.Exec("BEGIN; DELETE FROM t0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(db); got != "2" {
+		t.Fatalf("Close should roll back: COUNT=%s, want 2", got)
+	}
+
+	// The wire backend pins one engine per driver connection, so it
+	// cannot open extra sessions — the capability assertion must fail
+	// structurally, like the recovery oracle's crash capability.
+	wired := mustOpen(t, "wire", sut.Session{Dialect: dialect.SQLite})
+	defer wired.Close()
+	if _, ok := wired.(sut.MultiSession); ok {
+		t.Fatal("wire backend should not claim MultiSession")
+	}
+}
+
 func mustOpen(t *testing.T, backend string, sess sut.Session) sut.DB {
 	t.Helper()
 	db, err := sut.Open(backend, sess)

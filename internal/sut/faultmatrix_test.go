@@ -17,7 +17,7 @@ import (
 // the session in wire-fidelity mode (render→reparse, the pre-boundary
 // string round trip), each under the testing oracle its registry entry
 // routes to. Together with runner's TestFullCorpusDetectable — which
-// sweeps the same 49-fault matrix through the default ExecAST fast path —
+// sweeps the same 53-fault matrix through the default ExecAST fast path —
 // this proves both execution modes of the API detect the whole corpus
 // (including TLP's UNION ALL compounds surviving render→reparse).
 func TestFaultMatrixWireFidelity(t *testing.T) {
@@ -48,12 +48,12 @@ func TestFaultMatrixWireFidelity(t *testing.T) {
 			})
 		}
 	}
-	if total != 49 {
-		t.Errorf("fault registry has %d faults, matrix expects 49", total)
+	if total != 53 {
+		t.Errorf("fault registry has %d faults, matrix expects 53", total)
 	}
 }
 
-// TestFaultMatrixCompiledParity sweeps the same 49-fault matrix through
+// TestFaultMatrixCompiledParity sweeps the same 53-fault matrix through
 // the ExecAST fast path twice — once with compiled expression programs
 // (the default since the compiled-eval tentpole) and once with the
 // -no-compile tree walk — proving detection parity: compilation changes
@@ -152,8 +152,8 @@ var hashJoinFaults = map[faults.Fault]bool{
 	faults.HashLeftJoinDrop:  true,
 }
 
-// TestFaultMatrixHashJoinParity sweeps the 49-fault matrix with hash and
-// index-lookup joins ablated (NoHashJoin). The 46 pre-hash-join faults
+// TestFaultMatrixHashJoinParity sweeps the 53-fault matrix with hash and
+// index-lookup joins ablated (NoHashJoin). The 50 non-hash-path faults
 // must keep firing — strategy selection changes how joins execute, never
 // what they return — while the three hash-path faults must go quiet,
 // proving they live in exactly the code the ablation removes. (The

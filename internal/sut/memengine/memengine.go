@@ -107,6 +107,36 @@ func (d *DB) ExecAST(st sqlast.Stmt) (*sut.Result, error) {
 	return convert(d.e.ExecStmt(st))
 }
 
+// NewConn implements sut.MultiSession: an additional engine session
+// sharing the committed state, with its own transaction scope. The
+// serializability oracle interleaves statements across several of these.
+func (d *DB) NewConn() (sut.Conn, error) {
+	return &conn{c: d.e.NewConn(), db: d}, nil
+}
+
+// conn adapts one engine.Conn to sut.Conn.
+type conn struct {
+	c  *engine.Conn
+	db *DB
+}
+
+// Exec implements sut.Conn.
+func (c *conn) Exec(sql string) (*sut.Result, error) {
+	return convert(c.c.Exec(sql))
+}
+
+// ExecAST implements sut.Conn, honouring the session's wire fidelity like
+// DB.ExecAST.
+func (c *conn) ExecAST(st sqlast.Stmt) (*sut.Result, error) {
+	if c.db.sess.WireFidelity {
+		return convert(c.c.Exec(sqlast.SQL(st, c.db.sess.Dialect)))
+	}
+	return convert(c.c.ExecStmt(st))
+}
+
+// Close implements sut.Conn: rolls back the session's open transaction.
+func (c *conn) Close() error { return c.c.Close() }
+
 // Reset implements sut.Resetter: the engine rewinds to the pristine state
 // of a fresh Open without reallocating its long-lived structures, so
 // pooled campaign lifecycles reuse one engine across databases.

@@ -104,6 +104,35 @@ type DB interface {
 	Close() error
 }
 
+// Conn is one extra client session of a DB, for multi-session interleaved
+// histories. Each session auto-commits until it executes BEGIN; its
+// transaction stages effects invisibly to the DB's other sessions until
+// COMMIT. Sessions share the DB's statement serialization — a Conn is not
+// a separate lock domain, just a separate transaction scope.
+type Conn interface {
+	// Exec runs one or more ';'-separated statements on this session.
+	Exec(sql string) (*Result, error)
+	// ExecAST executes one already-generated statement on this session,
+	// honouring the DB's wire-fidelity setting.
+	ExecAST(st sqlast.Stmt) (*Result, error)
+	// Close rolls back the session's open transaction, if any, and
+	// releases the session.
+	Close() error
+}
+
+// MultiSession is the capability interface of backends that can open
+// additional concurrent sessions on one database. The serializability
+// oracle requires it; backends whose client protocol pins one session per
+// database (sut/wire opens a fresh database per driver connection) simply
+// don't implement it, and capability checks fail with CodeUnsupported —
+// the same structural-assertion pattern the recovery oracle uses for
+// crash support.
+type MultiSession interface {
+	// NewConn opens an additional session sharing this DB's committed
+	// state.
+	NewConn() (Conn, error)
+}
+
 // Introspection is the read-only catalog surface of a DB: what the tester
 // may consult about schema and stored rows without going through the
 // (possibly buggy) query path.

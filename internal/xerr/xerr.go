@@ -54,6 +54,14 @@ const (
 	// the process dying, not as an engine bug — classification maps them
 	// to artifacts outside recovery campaigns.
 	CodeIO
+	// CodeConflict marks a serialization failure: a transaction aborted
+	// because a concurrent commit invalidated its snapshot (first-committer
+	// wins), or because the schema changed under it. Expected in concurrent
+	// histories — the client is supposed to retry.
+	CodeConflict
+	// CodeTxnState marks transaction-control misuse: BEGIN inside a
+	// transaction, COMMIT/ROLLBACK without one.
+	CodeTxnState
 )
 
 // String names the code.
@@ -89,6 +97,10 @@ func (c Code) String() string {
 		return "busy"
 	case CodeIO:
 		return "io"
+	case CodeConflict:
+		return "conflict"
+	case CodeTxnState:
+		return "txn-state"
 	default:
 		return fmt.Sprintf("code(%d)", uint8(c))
 	}
