@@ -1317,3 +1317,217 @@ func BenchmarkHashJoin(b *testing.B) {
 		b.Errorf("hash join only %.1fx nested loop on 1k x 1k equi-join (acceptance target 5x)", hashJoinSpeedup)
 	}
 }
+
+var (
+	groupByOnce    sync.Once
+	groupBySpeedup float64
+)
+
+// hashAggBenchEngines builds a 10k-row grouped workload with the given
+// group-key cardinality on two engines: one with the streaming hash
+// aggregate (the default) and one with WithoutHashAgg forcing the
+// materialized per-group row retention it replaced.
+func hashAggBenchEngines(tb testing.TB, groups int) (hashed, materialized *engine.Engine) {
+	tb.Helper()
+	hashed = engine.Open(dialect.SQLite)
+	materialized = engine.Open(dialect.SQLite, engine.WithoutHashAgg())
+	const rows = 10000
+	stmts := []string{"CREATE TABLE ab0(g INT, a INT, b REAL, c INT)"}
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		if i%200 == 0 {
+			if sb.Len() > 0 {
+				stmts = append(stmts, sb.String())
+			}
+			sb.Reset()
+			sb.WriteString("INSERT INTO ab0 VALUES ")
+		} else {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %d.5, %d)", i%groups, i, i%100, i%7)
+	}
+	stmts = append(stmts, sb.String())
+	for _, e := range []*engine.Engine{hashed, materialized} {
+		for _, s := range stmts {
+			if _, err := e.Exec(s); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return hashed, materialized
+}
+
+// groupByBenchSQL is the grouped shape both the benchmark and the
+// allocation test measure: three accumulator aggregates over 10k rows.
+const groupByBenchSQL = "SELECT g, COUNT(*), SUM(a), AVG(b) FROM ab0 GROUP BY g"
+
+// BenchmarkGroupByHash measures the aggregation tentpole: 10k rows
+// folding into 10 or 1000 groups through three streaming accumulators,
+// against the forced materialized path that retains every row per group.
+// The self-measured speedup on the 10-group shape is a CI tripwire: the
+// acceptance target is >= 3x, and the benchmark fails below it so a
+// regression that silently reverts GROUP BY to materialize-then-scan
+// cannot land (the -benchtime=1x smoke runs this on every push).
+func BenchmarkGroupByHash(b *testing.B) {
+	sel, err := sqlparse.ParseOne(groupByBenchSQL, dialect.SQLite)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, e *engine.Engine, groups int) {
+		for i := 0; i < b.N; i++ {
+			res, err := e.ExecStmt(sel)
+			if err != nil || len(res.Rows) != groups {
+				b.Fatalf("rows=%d err=%v", len(res.Rows), err)
+			}
+		}
+	}
+	for _, groups := range []int{10, 1000} {
+		groups := groups
+		hashed, materialized := hashAggBenchEngines(b, groups)
+		b.Run(fmt.Sprintf("groups=%d/hash", groups), func(b *testing.B) {
+			b.ReportAllocs()
+			run(b, hashed, groups)
+		})
+		b.Run(fmt.Sprintf("groups=%d/materialized", groups), func(b *testing.B) {
+			b.ReportAllocs()
+			run(b, materialized, groups)
+		})
+		if groups != 10 {
+			continue
+		}
+		groupByOnce.Do(func() {
+			// Best-of-5 on both sides damps scheduler noise, and a GC fence
+			// before each attempt keeps the materialized path's 3MB/op debris
+			// from being collected on the hash path's clock: the tripwire
+			// compares the engines, not the machine's load spikes.
+			measure := func(e *engine.Engine, iters int) time.Duration {
+				var best time.Duration
+				for attempt := 0; attempt < 5; attempt++ {
+					runtime.GC()
+					start := time.Now()
+					for i := 0; i < iters; i++ {
+						if _, err := e.ExecStmt(sel); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if el := time.Since(start) / time.Duration(iters); best == 0 || el < best {
+						best = el
+					}
+				}
+				return best
+			}
+			measure(hashed, 3) // warm both engines' compiled programs
+			measure(materialized, 3)
+			ht := measure(hashed, 30)
+			mt := measure(materialized, 15)
+			groupBySpeedup = float64(mt) / float64(ht)
+			printExperiment("group-by-hash", fmt.Sprintf(
+				"GROUP BY (10k rows, 10 groups, 3 aggregates): hash %v/op vs materialized %v/op -> %.1fx speedup\n",
+				ht, mt, groupBySpeedup))
+		})
+		if groupBySpeedup < 3 {
+			b.Errorf("hash aggregation only %.1fx materialized grouping on 10k rows/10 groups (acceptance target 3x)", groupBySpeedup)
+		}
+	}
+}
+
+// TestGroupByHashAllocs pins the "streaming" in streaming aggregation:
+// executing the grouped benchmark query over 10k rows must allocate on
+// the order of the group count, not the row count. The materialized path
+// retains a per-group slice of every input row, so its allocations scale
+// with rows; the accumulator path must stay under a bound a row-retaining
+// implementation cannot meet.
+func TestGroupByHashAllocs(t *testing.T) {
+	hashed, _ := hashAggBenchEngines(t, 10)
+	sel, err := sqlparse.ParseOne(groupByBenchSQL, dialect.SQLite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hashed.ExecStmt(sel); err != nil { // warm compiled programs
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := hashed.ExecStmt(sel); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2000 {
+		t.Errorf("hash aggregation allocates %.0f times for 10k rows into 10 groups (want <=2000: bounded by groups, not rows)", allocs)
+	}
+}
+
+// BenchmarkTopK measures the ordering half of the tentpole: ORDER BY
+// with a small LIMIT over 10k rows through the bounded max-heap against
+// the forced full sort, plus the same query without LIMIT (where both
+// engines run the identical full sort, pinning the baseline).
+func BenchmarkTopK(b *testing.B) {
+	hashed, materialized := hashAggBenchEngines(b, 1000)
+	queries := []struct {
+		name, sql string
+		rows      int
+	}{
+		{"limit10", "SELECT * FROM ab0 ORDER BY b, a LIMIT 10", 10},
+		{"limit10-offset100", "SELECT * FROM ab0 ORDER BY b, a LIMIT 10 OFFSET 100", 10},
+		{"full-sort", "SELECT * FROM ab0 ORDER BY b, a", 10000},
+	}
+	for _, q := range queries {
+		sel, err := sqlparse.ParseOne(q.sql, dialect.SQLite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eng := range []struct {
+			name string
+			e    *engine.Engine
+		}{{"topk", hashed}, {"full-sort", materialized}} {
+			q, eng := q, eng
+			b.Run(q.name+"/"+eng.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := eng.e.ExecStmt(sel)
+					if err != nil || len(res.Rows) != q.rows {
+						b.Fatalf("rows=%d err=%v", len(res.Rows), err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAggCampaignThroughput tracks what the aggregation work costs
+// where it matters: full PQS campaign throughput (generation + execution
+// + oracle checks, now including grouped and exact-position ordered
+// query shapes) with the hash paths on versus ablated, per dialect.
+func BenchmarkAggCampaignThroughput(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		noHashAgg bool
+	}{
+		{"HashAgg", false},
+		{"NoHashAgg", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for _, d := range dialect.All {
+				b.Run(d.String(), func(b *testing.B) {
+					tester := core.NewTester(core.Config{
+						Dialect:      d,
+						Seed:         1,
+						QueriesPerDB: 20,
+						NoHashAgg:    mode.noHashAgg,
+					})
+					b.ResetTimer()
+					start := time.Now()
+					for i := 0; i < b.N; i++ {
+						if _, err := tester.RunDatabase(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					elapsed := time.Since(start).Seconds()
+					if elapsed > 0 {
+						b.ReportMetric(float64(b.N)/elapsed, "dbs/s")
+						b.ReportMetric(float64(tester.Stats().Statements)/elapsed, "stmts/s")
+					}
+				})
+			}
+		})
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dbshell -dialect sqlite [-backend memengine|wire] [-storage pager] [-fault sqlite.partial-index-not-null] [-no-compile] [-no-hashjoin]
+//	dbshell -dialect sqlite [-backend memengine|wire] [-storage pager] [-fault sqlite.partial-index-not-null] [-no-compile] [-no-hashjoin] [-no-hashagg]
 //
 // Statements end with ';'. Meta commands: .tables, .schema <t>,
 // .plan <select>, .oracle <name>, .begin, .commit, .rollback,
@@ -60,6 +60,7 @@ func main() {
 		noPlanner   = flag.Bool("no-planner", false, "disable index access paths")
 		noCompile   = flag.Bool("no-compile", false, "disable compiled expression programs (tree-walk evaluation)")
 		noHashJoin  = flag.Bool("no-hashjoin", false, "disable hash/index-lookup join strategies (nested-loop joins only)")
+		noHashAgg   = flag.Bool("no-hashagg", false, "disable hash aggregation and top-K ordering (materialized grouping + full sorts)")
 		storageFlag = flag.String("storage", "", "storage mode: memory (default) or pager (durable page file + WAL)")
 	)
 	flag.Parse()
@@ -69,7 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sess := sut.Session{Dialect: d, NoPlanner: *noPlanner, NoCompile: *noCompile, NoHashJoin: *noHashJoin, Storage: *storageFlag}
+	sess := sut.Session{Dialect: d, NoPlanner: *noPlanner, NoCompile: *noCompile, NoHashJoin: *noHashJoin, NoHashAgg: *noHashAgg, Storage: *storageFlag}
 	if *faultFlag != "" {
 		fs := faults.NewSet()
 		for _, name := range strings.Split(*faultFlag, ",") {

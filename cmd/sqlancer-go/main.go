@@ -33,6 +33,10 @@
 // every join level to the nested loop, ablating hash and index-lookup
 // join strategies (see DESIGN.md "Join execution & strategy selection");
 // the three sqlite/postgres hash-join faults are unreachable under it.
+// -no-hashagg forces materialized grouping and full sorts, ablating the
+// streaming hash-aggregation executor and the top-K ORDER BY/LIMIT path
+// (see DESIGN.md "Aggregation & ordering execution"); the three hash-agg
+// faults are unreachable under it.
 //
 // -storage pager runs every session on the durable page-file + WAL
 // backend instead of in memory. The recovery-equivalence oracle
@@ -90,6 +94,7 @@ func main() {
 		wireFid     = flag.Bool("wire-fidelity", false, "render+reparse each statement instead of the AST fast path")
 		noCompile   = flag.Bool("no-compile", false, "disable compiled expression programs (tree-walk evaluation)")
 		noHashJoin  = flag.Bool("no-hashjoin", false, "disable hash/index-lookup join strategies (nested-loop joins only)")
+		noHashAgg   = flag.Bool("no-hashagg", false, "disable hash aggregation and top-K ordering (materialized grouping + full sorts)")
 		corpusFlag  = flag.Bool("corpus", false, "sweep every registered fault of the dialect through one shared scheduler pool (-max-dbs is the per-fault budget)")
 		listFaults  = flag.Bool("list-faults", false, "print the fault registry and exit")
 	)
@@ -126,6 +131,7 @@ func main() {
 			WireFidelity: *wireFid,
 			NoCompile:    *noCompile,
 			NoHashJoin:   *noHashJoin,
+			NoHashAgg:    *noHashAgg,
 			Storage:      *storageFlag,
 			Sessions:     *sessions,
 		})
@@ -134,9 +140,9 @@ func main() {
 
 	switch *mode {
 	case "pqs":
-		runPQS(d, *faultFlag, *backend, *storageFlag, *wireFid, *noCompile, *noHashJoin, *maxDBs, *workers, *seed, *rows, *depth, *queries, *sessions, *doReduce, parseOracles(*oracleFlag))
+		runPQS(d, *faultFlag, *backend, *storageFlag, *wireFid, *noCompile, *noHashJoin, *noHashAgg, *maxDBs, *workers, *seed, *rows, *depth, *queries, *sessions, *doReduce, parseOracles(*oracleFlag))
 	case "fuzz":
-		runFuzz(d, *faultFlag, *backend, *storageFlag, *wireFid, *noCompile, *noHashJoin, *maxDBs, *seed, *queries)
+		runFuzz(d, *faultFlag, *backend, *storageFlag, *wireFid, *noCompile, *noHashJoin, *noHashAgg, *maxDBs, *seed, *queries)
 	case "diff":
 		if *wireFid {
 			// The differential baseline is already string-based end to
@@ -197,7 +203,7 @@ func parseOracles(list string) []string {
 	return out
 }
 
-func runPQS(d dialect.Dialect, faultName, backend, storage string, wireFid, noCompile, noHashJoin bool, maxDBs, workers int, seed int64, rows, depth, queries, sessions int, doReduce bool, oracles []string) {
+func runPQS(d dialect.Dialect, faultName, backend, storage string, wireFid, noCompile, noHashJoin, noHashAgg bool, maxDBs, workers int, seed int64, rows, depth, queries, sessions int, doReduce bool, oracles []string) {
 	res := runner.Run(runner.Campaign{
 		Dialect:      d,
 		Fault:        parseFault(faultName),
@@ -214,6 +220,7 @@ func runPQS(d dialect.Dialect, faultName, backend, storage string, wireFid, noCo
 			WireFidelity: wireFid,
 			NoCompile:    noCompile,
 			NoHashJoin:   noHashJoin,
+			NoHashAgg:    noHashAgg,
 			Storage:      storage,
 			Sessions:     sessions,
 		},
@@ -260,13 +267,13 @@ func runCorpus(d dialect.Dialect, maxDBs, workers int, seed int64, doReduce bool
 		detected, len(results), databases, time.Since(start).Round(time.Millisecond))
 }
 
-func runFuzz(d dialect.Dialect, faultName, backend, storage string, wireFid, noCompile, noHashJoin bool, maxDBs int, seed int64, queries int) {
+func runFuzz(d dialect.Dialect, faultName, backend, storage string, wireFid, noCompile, noHashJoin, noHashAgg bool, maxDBs int, seed int64, queries int) {
 	var fs *faults.Set
 	if f := parseFault(faultName); f != "" {
 		fs = faults.NewSet(f)
 	}
 	for i := 0; i < maxDBs; i++ {
-		f := fuzz.New(fuzz.Config{Dialect: d, Seed: seed + int64(i), Faults: fs, QueriesPerDB: queries, Backend: backend, WireFidelity: wireFid, NoCompile: noCompile, NoHashJoin: noHashJoin, Storage: storage})
+		f := fuzz.New(fuzz.Config{Dialect: d, Seed: seed + int64(i), Faults: fs, QueriesPerDB: queries, Backend: backend, WireFidelity: wireFid, NoCompile: noCompile, NoHashJoin: noHashJoin, NoHashAgg: noHashAgg, Storage: storage})
 		bug, err := f.RunDatabase()
 		if err != nil {
 			fatal(err)

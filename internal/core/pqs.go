@@ -63,6 +63,10 @@ type Config struct {
 	// NoHashJoin pins every join level to the nested-loop operator (the
 	// `-no-hashjoin` A/B baseline; see DESIGN.md "Join execution").
 	NoHashJoin bool
+	// NoHashAgg forces materialized grouping and full sorts (the
+	// `-no-hashagg` A/B baseline; see DESIGN.md "Aggregation & ordering
+	// execution").
+	NoHashAgg bool
 
 	// MaxExprDepth bounds generated expression trees (Algorithm 1's
 	// maxdepth). Default 3.
@@ -215,6 +219,7 @@ func (c Config) Session() sut.Session {
 		WireFidelity: c.WireFidelity,
 		NoCompile:    c.NoCompile,
 		NoHashJoin:   c.NoHashJoin,
+		NoHashAgg:    c.NoHashAgg,
 		Storage:      c.Storage,
 	}
 }
@@ -383,11 +388,15 @@ func snapshotPivotSources(intro sut.Introspection) []pivotSource {
 	return out
 }
 
-// pivotRow is one table's pivot selection.
+// pivotRow is one table's pivot selection. rows and rowIdx keep the full
+// scan-order snapshot and the pivot's position in it, so buildQuery can
+// compute the pivot's exact ORDER BY rank for position-tight LIMITs.
 type pivotRow struct {
-	table string
-	info  schema.TableInfo
-	vals  []sqlval.Value
+	table  string
+	info   schema.TableInfo
+	vals   []sqlval.Value
+	rows   [][]sqlval.Value
+	rowIdx int
 }
 
 // pivotIteration runs steps 2–7 once.
@@ -396,10 +405,13 @@ func (t *Tester) pivotIteration(db sut.DB, snap []pivotSource, sg *gen.StateGen,
 	// Step 2: select a pivot row from each table.
 	pivots := make([]pivotRow, 0, len(snap))
 	for _, src := range snap {
+		ri := t.rnd.Intn(len(src.rows))
 		pivots = append(pivots, pivotRow{
-			table: src.table,
-			info:  src.info,
-			vals:  src.rows[t.rnd.Intn(len(src.rows))],
+			table:  src.table,
+			info:   src.info,
+			vals:   src.rows[ri],
+			rows:   src.rows,
+			rowIdx: ri,
 		})
 	}
 	if len(pivots) == 0 {
@@ -790,7 +802,11 @@ func (t *Tester) buildQuery(ctx *interp.Context, pivots []pivotRow, cols []gen.C
 	// Result columns: every pivot table column, occasionally replaced by
 	// a random expression on columns (§3.4 extension).
 	eg := &gen.ExprGen{Rnd: t.rnd, Cols: cols, Hints: hints, ColValues: pivotColValues(cols, hints), MaxDepth: t.cfg.MaxExprDepth}
-	for _, p := range pivots {
+	// plainCols marks the first pivot table's columns emitted as plain
+	// references — the only legal sort keys for the position-tight ORDER
+	// BY shape below (ORDER BY must match a result column).
+	plainCols := make([]bool, len(pivots[0].info.Columns))
+	for pi, p := range pivots {
 		for ci, col := range p.info.Columns {
 			if t.rnd.Bool(0.15) {
 				expr := eg.GenerateValueExpr()
@@ -803,6 +819,9 @@ func (t *Tester) buildQuery(ctx *interp.Context, pivots []pivotRow, cols []gen.C
 				t.stats.Discarded++
 			}
 			sel.Cols = append(sel.Cols, sqlast.ResultCol{X: sqlast.Col(p.table, col.Name)})
+			if pi == 0 {
+				plainCols[ci] = true
+			}
 			var v sqlval.Value
 			if ci < len(p.vals) {
 				v = p.vals[ci]
@@ -849,11 +868,26 @@ func (t *Tester) buildQuery(ctx *interp.Context, pivots []pivotRow, cols []gen.C
 	}
 
 	// Random query keywords (step 5: "we randomly select appropriate
-	// keywords when generating these queries").
+	// keywords when generating these queries"). The position-tight ORDER
+	// BY shape excludes every other keyword: its LIMIT math assumes the
+	// result set is exactly the WHERE-surviving scan-order snapshot (no
+	// DISTINCT/GROUP BY collapsing).
+	// (Not on Postgres: a FROM scan there also returns inherited child
+	// rows, which the raw-heap snapshot the position math runs on never
+	// sees; Postgres keeps the always-containing LIMIT shape below.)
+	if t.cfg.Dialect != dialect.Postgres &&
+		len(pivots) == 1 && len(sel.Joins) == 0 && t.rnd.Bool(0.2) &&
+		t.exactPositionOrder(sel, pivots[0], plainCols, ctx) {
+		return sel, expected, nil
+	}
 	switch {
-	case t.cfg.Dialect == dialect.Postgres && t.rnd.Bool(0.25):
-		// GROUP BY over every result column is containment-preserving
-		// (and the Listing 15 trigger).
+	case (t.cfg.Dialect == dialect.Postgres || t.cfg.Dialect == dialect.SQLite) && t.rnd.Bool(0.25):
+		// GROUP BY over every result column is containment-preserving —
+		// each output tuple is (a representative of) its own group, and
+		// keysEqual-equal tuples are Value.Equal-equal, so the pivot tuple
+		// always survives. On Postgres this is the Listing 15 trigger; on
+		// SQLite it routes through the hash-aggregation executor and its
+		// collation-folding fault site.
 		for _, rc := range sel.Cols {
 			sel.GroupBy = append(sel.GroupBy, rc.X)
 		}
@@ -870,6 +904,119 @@ func (t *Tester) buildQuery(ctx *interp.Context, pivots []pivotRow, cols []gen.C
 		}
 	}
 	return sel, expected, nil
+}
+
+// exactPositionOrder rewrites a single-table pivot query into the
+// position-tight ORDER BY + LIMIT shape: the sort key is one plain result
+// column and LIMIT (with an optional OFFSET) is computed so the window's
+// last row sits exactly at the pivot's stable-sort position among the
+// WHERE-surviving rows — the tightest LIMIT that still keeps containment.
+// The surviving set is established client-side by evaluating the (already
+// rectified-TRUE) condition on every snapshot row with the independent
+// interpreter, in scan order — the order every engine access path
+// reproduces (rowid-sorted fetch) and the stable sort preserves across
+// ties. This is the only generated shape whose LIMIT can exclude rows, so
+// it is what drives the engine's top-K heap; the
+// generic.topk-heap-boundary fault additionally needs a later surviving
+// row tying the kept boundary row's key, hence the bias toward sort keys
+// with ties after the pivot. Reports false when no plain-column key is
+// available or a row evaluation errors (the caller falls through to the
+// other keyword shapes).
+func (t *Tester) exactPositionOrder(sel *sqlast.Select, p pivotRow, plainCols []bool, ctx *interp.Context) bool {
+	// keep collects the scan-order indexes of WHERE-surviving rows;
+	// pivotPos is the pivot's rank among them.
+	keep := make([]int, 0, len(p.rows))
+	pivotPos := -1
+	if sel.Where == nil {
+		for i := range p.rows {
+			keep = append(keep, i)
+		}
+		pivotPos = p.rowIdx
+	} else {
+		defer bindRowValues(ctx, p, p.vals) // restore the pivot bindings
+		for i, row := range p.rows {
+			if i == p.rowIdx {
+				// Rectified TRUE on the pivot by construction.
+				pivotPos = len(keep)
+				keep = append(keep, i)
+				continue
+			}
+			bindRowValues(ctx, p, row)
+			tb, err := interp.EvalBool(sel.Where, ctx)
+			if err != nil {
+				return false
+			}
+			if tb == sqlval.TriTrue {
+				keep = append(keep, i)
+			}
+		}
+	}
+
+	var cands, tieCands []int
+	for ci := range p.info.Columns {
+		if ci >= len(plainCols) || !plainCols[ci] || ci >= len(p.vals) {
+			continue
+		}
+		cands = append(cands, ci)
+		for _, i := range keep[pivotPos+1:] {
+			if sqlval.Compare(p.rows[i][ci], p.vals[ci], sqlval.CollBinary) == 0 {
+				tieCands = append(tieCands, ci)
+				break
+			}
+		}
+	}
+	pick := cands
+	if len(tieCands) > 0 && t.rnd.Bool(0.8) {
+		pick = tieCands
+	}
+	if len(pick) == 0 {
+		return false
+	}
+	ci := pick[t.rnd.Intn(len(pick))]
+	desc := t.rnd.Bool(0.5)
+	// pos is the pivot's 1-based position under the engine's stable sort
+	// of the surviving rows: strictly smaller keys, plus key ties at or
+	// before the pivot's scan index (sqlval.Compare on CollBinary is
+	// exactly the engine's ORDER BY comparator).
+	pos := 0
+	for ki, i := range keep {
+		c := sqlval.Compare(p.rows[i][ci], p.vals[ci], sqlval.CollBinary)
+		if desc {
+			c = -c
+		}
+		if c < 0 || (c == 0 && ki <= pivotPos) {
+			pos++
+		}
+	}
+	sel.OrderBy = []sqlast.OrderItem{{X: sqlast.Col(p.table, p.info.Columns[ci].Name), Desc: desc}}
+	off := 0
+	if pos > 1 && t.rnd.Bool(0.4) {
+		off = t.rnd.Intn(pos)
+	}
+	sel.Limit = sqlast.Lit(sqlval.Int(int64(pos - off)))
+	if off > 0 {
+		sel.Offset = sqlast.Lit(sqlval.Int(int64(off)))
+	}
+	return true
+}
+
+// bindRowValues rebinds one table's column values in the interpreter
+// context to a different snapshot row (collation/affinity metadata is
+// recomputed the way bindPivot does).
+func bindRowValues(ctx *interp.Context, p pivotRow, row []sqlval.Value) {
+	for ci, col := range p.info.Columns {
+		coll, _ := sqlval.ParseCollation(col.Collate)
+		var v sqlval.Value
+		if ci < len(row) {
+			v = row[ci]
+		}
+		ctx.Bind(p.table, col.Name, interp.ColInfo{
+			Val:      v,
+			Coll:     coll,
+			Affinity: sqlval.AffinityOf(col.TypeName),
+			Unsigned: col.Unsigned,
+		})
+	}
 }
 
 // equiJoinOn builds a `placed.a = joining.b` ON condition that evaluates

@@ -79,7 +79,7 @@ func TestDetectsRepresentativeFaults(t *testing.T) {
 		budget int
 	}{
 		{faults.PartialIndexNotNull, 300},
-		{faults.DoubleNegation, 200},
+		{faults.JoinPredicatePushdown, 150},
 		{faults.InheritanceGroupBy, 400},
 		{faults.VacuumCorrupt, 150},
 		{faults.SetOptionError, 200},

@@ -8,6 +8,7 @@
 //	db, _ := sql.Open("pqs", "sqlite?planner=off")
 //	db, _ := sql.Open("pqs", "sqlite?compile=off")
 //	db, _ := sql.Open("pqs", "sqlite?hashjoin=off")
+//	db, _ := sql.Open("pqs", "sqlite?hashagg=off")
 //	db, _ := sql.Open("pqs", "sqlite?storage=pager")
 //
 // storage=pager opens the connection on the durable page-file + WAL
@@ -93,6 +94,14 @@ func (*Driver) Open(dsn string) (driver.Conn, error) {
 				case "on": // the default; accepted for symmetry
 				default:
 					return nil, fmt.Errorf("pqs driver: hashjoin=%q (want on or off)", v)
+				}
+			case "hashagg":
+				switch v {
+				case "off":
+					opts = append(opts, engine.WithoutHashAgg())
+				case "on": // the default; accepted for symmetry
+				default:
+					return nil, fmt.Errorf("pqs driver: hashagg=%q (want on or off)", v)
 				}
 			case "storage":
 				switch v {

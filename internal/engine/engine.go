@@ -2,6 +2,12 @@
 // storage, planner, and executor for the three dialect profiles. It is the
 // "DBMS under test" of the reproduction; the injected bugs from
 // internal/faults live at specific sites in this package and internal/eval.
+//
+// Query execution picks strategies by cost: index access paths (plan.go),
+// hash/index/nested-loop joins (join.go), and streaming hash aggregation
+// plus heap-based top-K ordering (agg.go), each ablatable down to its
+// naive counterpart (WithoutHashJoin, WithoutHashAgg, ...) so campaigns
+// can bisect a detection to the optimized path.
 package engine
 
 import (
@@ -63,6 +69,7 @@ type Engine struct {
 	noPlanner         bool // force full scans (differential-test baseline)
 	noCompile         bool // force tree-walk evaluation (compiled-eval baseline)
 	noHashJoin        bool // force nested-loop joins (hash-join baseline)
+	noHashAgg         bool // force materialized grouping + full sorts (hash-agg baseline)
 	skipIndexMaint    bool // stale-index fault: storeRow leaves indexes untouched
 	globals           map[string]sqlval.Value
 
@@ -129,6 +136,15 @@ func WithoutCompiledEval() Option {
 // and the baseline half of the hash-vs-nested differential suites.
 func WithoutHashJoin() Option {
 	return func(e *Engine) { e.noHashJoin = true }
+}
+
+// WithoutHashAgg disables the streaming aggregation executor and the top-K
+// ordering path: GROUP BY resolves groups by the linear materialized scan,
+// aggregates re-iterate retained group combos, and ORDER BY + LIMIT always
+// sorts the full result. This is the `hashagg=off` escape hatch for A/B
+// runs and the baseline half of the hash-agg differential suites.
+func WithoutHashAgg() Option {
+	return func(e *Engine) { e.noHashAgg = true }
 }
 
 // Open creates an empty database for the dialect.

@@ -28,7 +28,6 @@ package engine
 import (
 	"math"
 	"sort"
-	"strconv"
 	"strings"
 
 	"repro/internal/dialect"
@@ -393,16 +392,22 @@ func relClassMask(rows []*rowVals, col int) uint8 {
 	return m
 }
 
-// appendKeyFloat appends the canonical numeric key form: a shortest-form
-// float rendering, with negative zero folded onto zero (Compare calls them
-// equal; FormatFloat renders them apart). Distinct huge integers can
-// collide on one float — collisions are verified away by the ON residual.
+// appendKeyFloat appends the canonical numeric key form: the raw IEEE
+// bits, with negative zero folded onto zero and NaNs onto one bit
+// pattern (Compare calls those equal; their bits differ). Distinct huge
+// integers can collide on one float — collisions are verified away by
+// the ON residual (joins) or keysEqual (grouping).
 func appendKeyFloat(buf []byte, f float64) []byte {
 	if f == 0 {
 		f = 0
 	}
-	buf = append(buf, 'f')
-	return strconv.AppendFloat(buf, f, 'g', -1, 64)
+	bits := math.Float64bits(f)
+	if f != f {
+		bits = math.Float64bits(math.NaN())
+	}
+	return append(buf, 'f',
+		byte(bits>>56), byte(bits>>48), byte(bits>>40), byte(bits>>32),
+		byte(bits>>24), byte(bits>>16), byte(bits>>8), byte(bits))
 }
 
 // appendJoinKey appends one value's normalized key component. The single

@@ -71,6 +71,14 @@ type AccessPath struct {
 	Join     string
 	JoinCond string
 	JoinCost float64
+	// Group/Order surface the statement-level aggregation and ordering
+	// strategies on the first access path: "GROUP USING HASH (keys)" when
+	// the streaming hash-aggregation executor will group the result, and
+	// "ORDER USING TOP-K (k)" when ORDER BY + a constant LIMIT route
+	// through the bounded-heap selection (which still falls back to a full
+	// sort at runtime when k reaches the actual row count).
+	Group string
+	Order string
 }
 
 // Detail renders the path in EXPLAIN QUERY PLAN style.
@@ -82,6 +90,12 @@ func (p AccessPath) Detail() string {
 			s += " (" + p.JoinCond + ")"
 		}
 		s += fmt.Sprintf(" (cost=%.1f)", p.JoinCost)
+	}
+	if p.Group != "" {
+		s += " " + p.Group
+	}
+	if p.Order != "" {
+		s += " " + p.Order
 	}
 	return s
 }
@@ -498,7 +512,41 @@ func (e *Engine) planSelect(sel *sqlast.Select) ([]AccessPath, error) {
 	if len(refs) > 1 {
 		e.annotateJoins(sel, out)
 	}
+	e.annotateAggOrder(sel, out)
 	return out, nil
+}
+
+// annotateAggOrder records the aggregation and ordering strategies on the
+// statement's first access path, mirroring the executor's dispatch in
+// project/orderByTopK (agg.go).
+func (e *Engine) annotateAggOrder(sel *sqlast.Select, out []AccessPath) {
+	if e.noHashAgg || len(out) == 0 {
+		return
+	}
+	if len(sel.GroupBy) > 0 {
+		keys := make([]string, len(sel.GroupBy))
+		for i, gx := range sel.GroupBy {
+			keys[i] = sqlast.ExprSQL(gx, e.d)
+		}
+		out[0].Group = "GROUP USING HASH (" + strings.Join(keys, ", ") + ")"
+	}
+	if len(sel.OrderBy) > 0 && sel.Limit != nil {
+		if lv, err := e.constEval(sel.Limit); err == nil && lv.Kind() == sqlval.KInt && lv.Int64() >= 0 {
+			k := lv.Int64()
+			ok := true
+			if sel.Offset != nil {
+				ov, err := e.constEval(sel.Offset)
+				if err != nil || ov.Kind() != sqlval.KInt || ov.Int64() < 0 {
+					ok = false
+				} else {
+					k += ov.Int64()
+				}
+			}
+			if ok && k > 0 {
+				out[0].Order = fmt.Sprintf("ORDER USING TOP-K (%d)", k)
+			}
+		}
+	}
 }
 
 // annotateJoins runs the executor's per-level join analysis and strategy

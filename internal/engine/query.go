@@ -87,8 +87,20 @@ func (e *Engine) execSelect(n *sqlast.Select) (*Result, error) {
 		outRows = e.distinct(outRows)
 	}
 	if len(n.OrderBy) > 0 {
-		if err := e.orderBy(n, rels, outRows, combos); err != nil {
-			return nil, err
+		// Top-K: ORDER BY + small constant LIMIT keeps the k best rows in a
+		// bounded heap instead of sorting everything (agg.go). Ineligible
+		// shapes fall through to the full stable sort.
+		handled := false
+		if !e.noHashAgg && n.Limit != nil {
+			handled, outRows, err = e.orderByTopK(n, rels, outRows)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !handled {
+			if err := e.orderBy(n, rels, outRows, combos); err != nil {
+				return nil, err
+			}
 		}
 	}
 	outRows, err = e.applyLimit(n, outRows)
@@ -587,16 +599,31 @@ func isAggregate(x sqlast.Expr) (*sqlast.FuncCall, bool) {
 	return fc, true
 }
 
+// outCol is one expanded result column of a projection.
+type outCol struct {
+	name string
+	x    sqlast.Expr // nil for star expansion entries (direct value)
+	rel  int         // star source relation
+	col  int         // star source column
+}
+
+// projCtx bundles the projection state shared between the grouped
+// executors (the materialized baseline below and the streaming hash path
+// in agg.go).
+type projCtx struct {
+	n         *sqlast.Select
+	rels      []*relation
+	cols      []outCol
+	outNames  []string
+	x         *exprEval
+	colFns    []func() (sqlval.Value, error)
+	groupKeys []sqlast.Expr
+}
+
 // project computes output columns and rows, handling GROUP BY and
 // aggregates.
 func (e *Engine) project(n *sqlast.Select, rels []*relation, combos [][]*rowVals) ([]string, [][]sqlval.Value, error) {
 	// Expand result columns.
-	type outCol struct {
-		name string
-		x    sqlast.Expr // nil for star expansion entries (direct value)
-		rel  int         // star source relation
-		col  int         // star source column
-	}
 	var cols []outCol
 	hasAgg := false
 	for i, rc := range n.Cols {
@@ -731,6 +758,22 @@ func (e *Engine) project(n *sqlast.Select, rels []*relation, combos [][]*rowVals
 		}
 	}
 
+	pc := &projCtx{n: n, rels: rels, cols: cols, outNames: outNames,
+		x: x, colFns: colFns, groupKeys: groupKeys}
+	if !e.noHashAgg && streamableAgg(cols) {
+		return e.projectGroupedHash(pc, combos)
+	}
+	return e.projectGroupedNaive(pc, combos)
+}
+
+// projectGroupedNaive is the materialized grouped/aggregate projection:
+// groups resolve by a linear keysEqual scan, every group retains its
+// combos, and aggregates re-iterate them per column. It is the ablation
+// baseline (hashagg=off) the streaming path must match byte-for-byte.
+func (e *Engine) projectGroupedNaive(pc *projCtx, combos [][]*rowVals) ([]string, [][]sqlval.Value, error) {
+	n, rels, cols, x, colFns, groupKeys :=
+		pc.n, pc.rels, pc.cols, pc.x, pc.colFns, pc.groupKeys
+
 	type group struct {
 		key    []sqlval.Value
 		combos [][]*rowVals
@@ -828,7 +871,7 @@ func (e *Engine) project(n *sqlast.Select, rels []*relation, combos [][]*rowVals
 		}
 		rows = append(rows, row)
 	}
-	return outNames, rows, nil
+	return pc.outNames, rows, nil
 }
 
 // keysEqual compares group keys: NULLs group together (SQL GROUP BY
@@ -1050,12 +1093,11 @@ func (e *Engine) distinctHashed(rows [][]sqlval.Value) [][]sqlval.Value {
 	return out
 }
 
-// orderBy sorts output rows in place by the ORDER BY items. Sort keys are
-// recomputed from output rows when the order expression matches an output
-// column; otherwise they must be simple column references.
-func (e *Engine) orderBy(n *sqlast.Select, rels []*relation, rows [][]sqlval.Value, combos [][]*rowVals) error {
-	e.cov.hit("dql.order-by")
-	// Map order expressions onto output columns by rendered SQL.
+// resolveOrderKeys maps ORDER BY expressions onto output-column indexes by
+// rendered SQL (or positionally through star expansions), shared by the
+// full sort and the top-K path so both raise the identical resolution
+// error.
+func (e *Engine) resolveOrderKeys(n *sqlast.Select, rels []*relation) ([]int, error) {
 	keyIdx := make([]int, len(n.OrderBy))
 	for i, oi := range n.OrderBy {
 		keyIdx[i] = -1
@@ -1091,8 +1133,20 @@ func (e *Engine) orderBy(n *sqlast.Select, rels []*relation, rows [][]sqlval.Val
 			}
 		}
 		if keyIdx[i] < 0 {
-			return xerr.New(xerr.CodeNoObject, "ORDER BY term does not match any result column")
+			return nil, xerr.New(xerr.CodeNoObject, "ORDER BY term does not match any result column")
 		}
+	}
+	return keyIdx, nil
+}
+
+// orderBy sorts output rows in place by the ORDER BY items. Sort keys are
+// recomputed from output rows when the order expression matches an output
+// column; otherwise they must be simple column references.
+func (e *Engine) orderBy(n *sqlast.Select, rels []*relation, rows [][]sqlval.Value, combos [][]*rowVals) error {
+	e.cov.hit("dql.order-by")
+	keyIdx, err := e.resolveOrderKeys(n, rels)
+	if err != nil {
+		return err
 	}
 	sort.SliceStable(rows, func(a, b int) bool {
 		for i := range keyIdx {
@@ -1145,18 +1199,21 @@ func (e *Engine) applyLimit(n *sqlast.Select, rows [][]sqlval.Value) ([][]sqlval
 	// Fault site (generic.order-by-limit-drop): ORDER BY + LIMIT loses
 	// the last row when any emitted sort key is NULL.
 	if e.d == dialect.Postgres && e.fs.Has(faults.OrderByLimitDrop) &&
-		len(n.OrderBy) > 0 && len(rows) > 0 {
-		hasNull := false
-		for _, row := range rows {
-			for _, v := range row {
-				if v.IsNull() {
-					hasNull = true
-				}
-			}
-		}
-		if hasNull {
-			rows = rows[:len(rows)-1]
-		}
+		len(n.OrderBy) > 0 && len(rows) > 0 && anyRowHasNull(rows) {
+		rows = rows[:len(rows)-1]
 	}
 	return rows, nil
+}
+
+// anyRowHasNull reports whether any emitted value is NULL, returning on
+// the first hit (the fault gate above keeps the scan off sound engines).
+func anyRowHasNull(rows [][]sqlval.Value) bool {
+	for _, row := range rows {
+		for _, v := range row {
+			if v.IsNull() {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -170,6 +170,23 @@ const (
 	// filtered queries — extra rows PQS's containment check is
 	// structurally blind to.
 	HashJoinNullKey Fault = "sqlite.hash-join-null-key"
+
+	// Hash-aggregation faults (PR 10): each lives inside the streaming
+	// hash-aggregation / top-K operators, so it only fires on queries the
+	// planner routes through those paths — and vanishes entirely under
+	// hashagg=off.
+
+	// HashAggCollation: the hash-aggregation key builder folds TEXT group
+	// keys through the source column's declared collation and skips the
+	// full-comparison re-verification of bucket matches, so BINARY-distinct
+	// NOCASE/RTRIM variants collapse into one group (§4.4 collation class,
+	// transplanted into the aggregation operator).
+	HashAggCollation Fault = "sqlite.hash-agg-collation"
+	// AggAccumulatorNullSkip: the streaming SUM/AVG accumulator seeds
+	// itself from a leading NULL as if it were 0 instead of skipping it,
+	// flipping all-NULL aggregates from NULL to 0 in filtered queries —
+	// exactly the null-ness deviation TLP's aggregate recombination checks.
+	AggAccumulatorNullSkip Fault = "sqlite.agg-accumulator-null-skip"
 )
 
 // MySQL-dialect faults.
@@ -256,6 +273,10 @@ const (
 	// InsertVisibility: the most recently inserted row is invisible to
 	// the next full-scan query.
 	InsertVisibility Fault = "generic.insert-visibility"
+	// TopKHeapBoundary: the bounded-heap top-K ORDER BY/LIMIT path evicts
+	// the current k-th row when a rejected candidate ties it on every sort
+	// key — the boundary row silently vanishes from the result.
+	TopKHeapBoundary Fault = "generic.topk-heap-boundary"
 )
 
 // Durability faults, injected into the pager storage backend
@@ -349,6 +370,8 @@ func init() {
 		{NorecCountMismatch, sq, ClassOptimization, OracleNoREC, true, "NoREC/TLP class", "star-projection SELECT with WHERE drops its first matching row"},
 		{HashJoinCollation, sq, ClassOptimization, OracleContainment, true, "§4.4 class", "hash join hashes NOCASE keys case-sensitively, dropping case-variant matches"},
 		{HashJoinNullKey, sq, ClassOptimization, OracleTLP, true, "NoREC/TLP class", "hash join matches NULL keys spuriously in filtered queries"},
+		{HashAggCollation, sq, ClassOptimization, OracleContainment, true, "§4.4 class", "hash aggregation folds TEXT group keys through the column collation, collapsing distinct groups"},
+		{AggAccumulatorNullSkip, sq, ClassSemantics, OracleTLP, true, "NoREC/TLP class", "streaming SUM/AVG seeds its accumulator from a leading NULL instead of skipping it"},
 
 		{MemoryEngineCast, my, ClassTyping, OracleContainment, true, "Listing 11", "MEMORY engine evaluates CAST AS UNSIGNED comparisons wrong"},
 		{UnsignedCompare, my, ClassTyping, OracleContainment, true, "§4.5", "UNSIGNED column vs negative constant coerces the constant"},
@@ -375,6 +398,7 @@ func init() {
 		{OrderByLimitDrop, pg, ClassOptimization, OracleContainment, true, "§4 class", "ORDER BY + LIMIT drops a row when sort key has NULL"},
 		{VacuumCorrupt, sq, ClassCorruption, OracleError, false, "§4.4 class", "VACUUM corrupts the storage checksum"},
 		{InsertVisibility, my, ClassSemantics, OracleContainment, true, "§4 class", "last inserted row invisible to next scan"},
+		{TopKHeapBoundary, my, ClassOptimization, OracleContainment, true, "§4 class", "top-K ORDER BY/LIMIT evicts the k-th row when a rejected candidate ties on the sort key"},
 
 		{PagerLostFlush, sq, ClassDurability, OracleRecovery, true, "§7 durability class", "Commit skips the WAL fsync; claimed-committed transactions vanish on crash"},
 		{PagerTornPageAccept, sq, ClassDurability, OracleRecovery, true, "§7 durability class", "recovery skips checksum verification and salvages the torn WAL tail"},

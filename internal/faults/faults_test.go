@@ -9,8 +9,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 53 {
-		t.Fatalf("registry has %d faults, want 53", len(all))
+	if len(all) != 56 {
+		t.Fatalf("registry has %d faults, want 56", len(all))
 	}
 	valid := map[Oracle]bool{
 		OracleContainment: true, OracleError: true, OracleCrash: true,

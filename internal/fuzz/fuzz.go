@@ -36,6 +36,9 @@ type Config struct {
 	// NoHashJoin pins every join level to the nested loop (the
 	// -no-hashjoin escape hatch).
 	NoHashJoin bool
+	// NoHashAgg forces materialized grouping and full sorts (the
+	// -no-hashagg escape hatch).
+	NoHashAgg bool
 }
 
 // Fuzzer drives random statements at the engine and watches for crashes
@@ -70,6 +73,7 @@ func (f *Fuzzer) RunDatabase() (*core.Bug, error) {
 		WireFidelity: f.cfg.WireFidelity,
 		NoCompile:    f.cfg.NoCompile,
 		NoHashJoin:   f.cfg.NoHashJoin,
+		NoHashAgg:    f.cfg.NoHashAgg,
 		Storage:      f.cfg.Storage,
 	})
 	if err != nil {
@@ -162,6 +166,12 @@ func (f *Fuzzer) randomQuery(intro sut.Introspection, sg *gen.StateGen) sqlast.S
 	}
 	if f.rnd.Bool(0.8) {
 		sel.Where = eg.Generate()
+	}
+	// Ordered/limited shapes route through the top-K heap (small k) or the
+	// full sort; the fuzzer never validates result sets, so position
+	// semantics cost it nothing and buy executor coverage.
+	if f.rnd.Bool(0.35) {
+		gen.OrderLimit(f.rnd, table, info, sel)
 	}
 	return sel
 }

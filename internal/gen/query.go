@@ -3,6 +3,7 @@ package gen
 import (
 	"repro/internal/schema"
 	"repro/internal/sqlast"
+	"repro/internal/sqlval"
 )
 
 // ColumnSubset draws a random non-empty projection list. Narrow
@@ -20,6 +21,42 @@ func ColumnSubset(rnd *Rand, info schema.TableInfo) []string {
 		out = []string{info.Columns[rnd.Intn(len(info.Columns))].Name}
 	}
 	return out
+}
+
+// OrderLimit decorates a single-table SELECT with ORDER BY and, usually,
+// LIMIT/OFFSET. The limit is biased toward small k: that is the shape the
+// engine's top-K heap serves (and where its eviction boundary lives), and
+// real workloads skew the same way. Callers must be order-insensitive or
+// validate position semantics themselves — the fuzzer baseline qualifies
+// because it never checks result sets, and PQS builds its own
+// exact-position queries instead of using this.
+func OrderLimit(rnd *Rand, table string, info schema.TableInfo, sel *sqlast.Select) {
+	nKeys := 1
+	if len(info.Columns) > 1 && rnd.Bool(0.3) {
+		nKeys = 2
+	}
+	seen := map[int]bool{}
+	for len(sel.OrderBy) < nKeys {
+		ci := rnd.Intn(len(info.Columns))
+		if seen[ci] {
+			continue
+		}
+		seen[ci] = true
+		sel.OrderBy = append(sel.OrderBy, sqlast.OrderItem{
+			X:    sqlast.Col(table, info.Columns[ci].Name),
+			Desc: rnd.Bool(0.4),
+		})
+	}
+	if rnd.Bool(0.85) {
+		k := int64(1 + rnd.Intn(5)) // small k: the top-K heap's home turf
+		if rnd.Bool(0.15) {
+			k = int64(1 + rnd.Intn(1000)) // occasionally larger than the table
+		}
+		sel.Limit = sqlast.Lit(sqlval.Int(k))
+		if rnd.Bool(0.3) {
+			sel.Offset = sqlast.Lit(sqlval.Int(int64(rnd.Intn(4))))
+		}
+	}
 }
 
 // CompoundSelect generates a small compound SELECT over one table —

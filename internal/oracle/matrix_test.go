@@ -180,6 +180,9 @@ func TestOracleRouting(t *testing.T) {
 		faults.HashJoinCollation:      "pqs",
 		faults.HashJoinNullKey:        "tlp",
 		faults.HashLeftJoinDrop:       "tlp",
+		faults.HashAggCollation:       "pqs",
+		faults.AggAccumulatorNullSkip: "tlp",
+		faults.TopKHeapBoundary:       "pqs",
 		faults.PagerLostFlush:         "recovery",
 		faults.PagerTornPageAccept:    "recovery",
 		faults.PagerTruncatedReplay:   "recovery",

@@ -52,6 +52,11 @@ func TestSchedulerDeterminism(t *testing.T) {
 		// Durable pager storage: the recovery oracle's crash schedules must
 		// also be schedule-independent (crash plans derive from the seed).
 		{Dialect: dialect.SQLite, Fault: faults.PagerLostFlush, MaxDatabases: 300, BaseSeed: 2, Oracles: []string{"recovery"}, Reduce: true},
+		// Grouped/ordered workload: these faults live in the hash-aggregation
+		// and top-K executor paths, so detecting them exercises the GROUP
+		// BY/ORDER BY/LIMIT shapes the generator now emits.
+		{Dialect: dialect.SQLite, Fault: faults.HashAggCollation, MaxDatabases: 600, BaseSeed: 1, Oracles: []string{"pqs"}, Reduce: true},
+		{Dialect: dialect.MySQL, Fault: faults.TopKHeapBoundary, MaxDatabases: 600, BaseSeed: 1, Oracles: []string{"pqs"}},
 	}
 	sweep := func(workers int) []canonical {
 		s := &Scheduler{Workers: workers}
@@ -70,7 +75,7 @@ func TestSchedulerDeterminism(t *testing.T) {
 		}
 	}
 	// Sanity: the detecting campaigns did detect, the soundness one did not.
-	for _, i := range []int{0, 1, 2, 4} {
+	for _, i := range []int{0, 1, 2, 4, 5, 6} {
 		if !one[i].Detected {
 			t.Errorf("campaign %d missed its fault", i)
 		}

@@ -17,7 +17,7 @@ import (
 // the session in wire-fidelity mode (render→reparse, the pre-boundary
 // string round trip), each under the testing oracle its registry entry
 // routes to. Together with runner's TestFullCorpusDetectable — which
-// sweeps the same 53-fault matrix through the default ExecAST fast path —
+// sweeps the same 56-fault matrix through the default ExecAST fast path —
 // this proves both execution modes of the API detect the whole corpus
 // (including TLP's UNION ALL compounds surviving render→reparse).
 func TestFaultMatrixWireFidelity(t *testing.T) {
@@ -48,12 +48,12 @@ func TestFaultMatrixWireFidelity(t *testing.T) {
 			})
 		}
 	}
-	if total != 53 {
-		t.Errorf("fault registry has %d faults, matrix expects 53", total)
+	if total != 56 {
+		t.Errorf("fault registry has %d faults, matrix expects 56", total)
 	}
 }
 
-// TestFaultMatrixCompiledParity sweeps the same 53-fault matrix through
+// TestFaultMatrixCompiledParity sweeps the same 56-fault matrix through
 // the ExecAST fast path twice — once with compiled expression programs
 // (the default since the compiled-eval tentpole) and once with the
 // -no-compile tree walk — proving detection parity: compilation changes
@@ -152,7 +152,7 @@ var hashJoinFaults = map[faults.Fault]bool{
 	faults.HashLeftJoinDrop:  true,
 }
 
-// TestFaultMatrixHashJoinParity sweeps the 53-fault matrix with hash and
+// TestFaultMatrixHashJoinParity sweeps the 56-fault matrix with hash and
 // index-lookup joins ablated (NoHashJoin). The 50 non-hash-path faults
 // must keep firing — strategy selection changes how joins execute, never
 // what they return — while the three hash-path faults must go quiet,
@@ -195,6 +195,105 @@ func TestFaultMatrixHashJoinParity(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// hashAggFaults are the three faults injected inside the hash-aggregation
+// and top-K ordering machinery: with -no-hashagg the engine falls back to
+// materialized grouping and full sorts, the faulty code never runs, and
+// the faults must be unreachable (the ablation doubles as bisection).
+var hashAggFaults = map[faults.Fault]bool{
+	faults.HashAggCollation:       true,
+	faults.AggAccumulatorNullSkip: true,
+	faults.TopKHeapBoundary:       true,
+}
+
+// TestFaultMatrixHashAggParity sweeps the 56-fault matrix with hash
+// aggregation and top-K ordering ablated (NoHashAgg). The 53 faults
+// outside the hash-agg path must keep firing — aggregation strategy
+// changes how groups accumulate, never what they contain — while the
+// three hash-agg faults must go quiet, proving they live in exactly the
+// code the ablation removes. (The hashagg-on half of the parity claim is
+// the existing TestFaultMatrixWireFidelity / TestFullCorpusDetectable
+// sweeps.)
+func TestFaultMatrixHashAggParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault matrix sweep is not short")
+	}
+	for _, d := range dialect.All {
+		for _, info := range faults.ForDialect(d) {
+			info := info
+			d := d
+			t.Run(string(info.ID), func(t *testing.T) {
+				t.Parallel()
+				budget := 1500
+				if hashAggFaults[info.ID] {
+					budget = 300
+				}
+				res := runner.Run(runner.Campaign{
+					Dialect:      d,
+					Fault:        info.ID,
+					MaxDatabases: budget,
+					Workers:      2,
+					BaseSeed:     1,
+					Oracles:      []string{oracle.ForFault(info)},
+					Tester:       core.Config{NoHashAgg: true},
+				})
+				if hashAggFaults[info.ID] {
+					if res.Detected {
+						t.Fatalf("hash-agg fault %s detected with hash aggregation ablated:\n  %s",
+							info.ID, strings.Join(res.Bug.Trace, ";\n  "))
+					}
+					return
+				}
+				if !res.Detected {
+					t.Fatalf("fault %s not detected with -no-hashagg in %d databases",
+						info.ID, res.Databases)
+				}
+			})
+		}
+	}
+}
+
+// TestHashAggFaultReduction proves the three hash-agg faults reduce to
+// replayable repro scripts, like the rest of the corpus: the reducer's
+// checker must reproduce on a faulty engine and stay quiet on a clean one.
+func TestHashAggFaultReduction(t *testing.T) {
+	for _, tc := range []struct {
+		fault   faults.Fault
+		dialect dialect.Dialect
+		oracle  string
+	}{
+		{faults.HashAggCollation, dialect.SQLite, "pqs"},
+		{faults.AggAccumulatorNullSkip, dialect.SQLite, "tlp"},
+		{faults.TopKHeapBoundary, dialect.MySQL, "pqs"},
+	} {
+		tc := tc
+		t.Run(string(tc.fault), func(t *testing.T) {
+			t.Parallel()
+			res := runner.Run(runner.Campaign{
+				Dialect:      tc.dialect,
+				Fault:        tc.fault,
+				MaxDatabases: 1500,
+				BaseSeed:     1,
+				Reduce:       true,
+				Oracles:      []string{tc.oracle},
+			})
+			if !res.Detected {
+				t.Fatalf("%s not detected", tc.fault)
+			}
+			if len(res.Reduced) == 0 || len(res.Reduced) > len(res.Bug.Trace) {
+				t.Fatalf("reduction produced %d statements from %d", len(res.Reduced), len(res.Bug.Trace))
+			}
+			check := reduce.CheckerFor(res.Bug, tc.dialect, faults.NewSet(tc.fault))
+			if !check(res.Reduced) {
+				t.Fatalf("reduced trace no longer reproduces:\n  %s", strings.Join(res.Reduced, ";\n  "))
+			}
+			clean := reduce.CheckerFor(res.Bug, tc.dialect, nil)
+			if clean(res.Reduced) {
+				t.Fatalf("checker reproduces on the fault-free engine:\n  %s", strings.Join(res.Reduced, ";\n  "))
+			}
+		})
 	}
 }
 

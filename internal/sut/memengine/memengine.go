@@ -41,6 +41,9 @@ func (driverImpl) Open(s sut.Session) (sut.DB, error) {
 	if s.NoHashJoin {
 		opts = append(opts, engine.WithoutHashJoin())
 	}
+	if s.NoHashAgg {
+		opts = append(opts, engine.WithoutHashAgg())
+	}
 	switch s.Storage {
 	case "", "memory":
 		return Wrap(engine.Open(s.Dialect, opts...), s), nil

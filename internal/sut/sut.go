@@ -58,6 +58,10 @@ type Session struct {
 	// NoHashJoin pins every join level to the nested-loop operator (the
 	// hash-vs-nested differential baseline; engine.WithoutHashJoin).
 	NoHashJoin bool
+	// NoHashAgg forces materialized grouping and full sorts — no hash
+	// aggregation, no top-K ORDER BY/LIMIT (the hash-agg differential
+	// baseline; engine.WithoutHashAgg).
+	NoHashAgg bool
 	// WireFidelity makes ExecAST render the statement to SQL and reparse
 	// it before executing — today's string round trip, kept as an opt-in
 	// for parser coverage. The default is the direct-AST fast path where

@@ -53,6 +53,9 @@ func (driverImpl) Open(s sut.Session) (sut.DB, error) {
 	if s.NoHashJoin {
 		params = append(params, "hashjoin=off")
 	}
+	if s.NoHashAgg {
+		params = append(params, "hashagg=off")
+	}
 	if s.Storage != "" && s.Storage != "memory" {
 		params = append(params, "storage="+s.Storage)
 	}
